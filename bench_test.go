@@ -1,0 +1,131 @@
+package cppe
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The bench harness regenerates every table and figure of the paper.
+// Simulation results are cached in a shared session, so each experiment's
+// cost is paid once regardless of b.N; the regenerated artifact is printed
+// the first time so `go test -bench=. | tee bench_output.txt` captures the
+// full reproduction.
+
+var (
+	sessOnce  sync.Once
+	sess      *Session
+	printOnce sync.Map
+)
+
+func benchSession() *Session {
+	sessOnce.Do(func() { sess = NewSession(Options{}) })
+	return sess
+}
+
+func benchmarkExperiment(b *testing.B, id string) {
+	s := benchSession()
+	var out string
+	var err error
+	for i := 0; i < b.N; i++ {
+		out, err = s.Experiment(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		fmt.Printf("\n%s\n", out)
+	}
+	b.ReportMetric(float64(s.CachedRuns()), "sims")
+}
+
+// BenchmarkTable1Config regenerates Table I (simulated system configuration).
+func BenchmarkTable1Config(b *testing.B) { benchmarkExperiment(b, ExpTable1) }
+
+// BenchmarkTable2Workloads regenerates Table II (workload characteristics).
+func BenchmarkTable2Workloads(b *testing.B) { benchmarkExperiment(b, ExpTable2) }
+
+// BenchmarkFig3ReservedLRU regenerates Fig. 3: LRU vs Random vs reserved LRU
+// at 50% oversubscription.
+func BenchmarkFig3ReservedLRU(b *testing.B) { benchmarkExperiment(b, ExpFig3) }
+
+// BenchmarkFig4ThrashSensitivity regenerates Fig. 4: eviction blow-up from
+// prefetching once memory is full.
+func BenchmarkFig4ThrashSensitivity(b *testing.B) { benchmarkExperiment(b, ExpFig4) }
+
+// BenchmarkTable3UntouchMax regenerates Table III: maximum per-interval
+// untouch level in the first four intervals.
+func BenchmarkTable3UntouchMax(b *testing.B) { benchmarkExperiment(b, ExpTable3) }
+
+// BenchmarkTable4UntouchTotal regenerates Table IV: total untouch level over
+// the first four intervals.
+func BenchmarkTable4UntouchTotal(b *testing.B) { benchmarkExperiment(b, ExpTable4) }
+
+// BenchmarkSweepT3 regenerates the Section VI-A forward-distance-limit
+// sensitivity sweep (T3 = 16..40).
+func BenchmarkSweepT3(b *testing.B) { benchmarkExperiment(b, ExpSweepT3) }
+
+// BenchmarkFig7DeletionSchemes regenerates Fig. 7: pattern-buffer deletion
+// Scheme-1 vs Scheme-2.
+func BenchmarkFig7DeletionSchemes(b *testing.B) { benchmarkExperiment(b, ExpFig7) }
+
+// BenchmarkFig8CPPEvsBaseline regenerates Fig. 8, the headline result: CPPE
+// speedup over the baseline at 75% and 50% oversubscription.
+func BenchmarkFig8CPPEvsBaseline(b *testing.B) { benchmarkExperiment(b, ExpFig8) }
+
+// BenchmarkFig9OtherPolicies75 regenerates Fig. 9 at 75% oversubscription.
+func BenchmarkFig9OtherPolicies75(b *testing.B) { benchmarkExperiment(b, ExpFig9a) }
+
+// BenchmarkFig9OtherPolicies50 regenerates Fig. 9 at 50% oversubscription.
+func BenchmarkFig9OtherPolicies50(b *testing.B) { benchmarkExperiment(b, ExpFig9b) }
+
+// BenchmarkFig10DisablePrefetch regenerates Fig. 10: disabling prefetch under
+// oversubscription vs baseline vs CPPE.
+func BenchmarkFig10DisablePrefetch(b *testing.B) { benchmarkExperiment(b, ExpFig10) }
+
+// BenchmarkOverheadAnalysis regenerates the Section VI-C structure-overhead
+// accounting.
+func BenchmarkOverheadAnalysis(b *testing.B) { benchmarkExperiment(b, ExpOverhead) }
+
+// BenchmarkAblationHPE contrasts counter-polluted HPE with CPPE
+// (Inefficiency 1).
+func BenchmarkAblationHPE(b *testing.B) { benchmarkExperiment(b, ExpAblHPE) }
+
+// BenchmarkAblationTreePrefetch contrasts the tree-based neighborhood
+// prefetcher with the locality prefetcher.
+func BenchmarkAblationTreePrefetch(b *testing.B) { benchmarkExperiment(b, ExpAblTree) }
+
+// BenchmarkSimulationSRD measures raw simulator throughput on one
+// representative simulation (SRD under CPPE at 50% oversubscription),
+// bypassing the result cache.
+func BenchmarkSimulationSRD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := NewSession(Options{Scale: 0.1})
+		r := s.MustRun(Request{Benchmark: "SRD", Setup: SetupCPPE, Oversubscription: 50})
+		if r.Cycles == 0 {
+			b.Fatal("empty run")
+		}
+		b.ReportMetric(float64(r.Accesses), "accesses")
+	}
+}
+
+// BenchmarkAblationMHPEDesign sweeps MHPE's design choices (interval length,
+// buffer sizing, forward-distance initialization).
+func BenchmarkAblationMHPEDesign(b *testing.B) { benchmarkExperiment(b, ExpAblMHPE) }
+
+// BenchmarkAblationTrueLRU compares deployable policies against an oracle
+// touch-recency LRU.
+func BenchmarkAblationTrueLRU(b *testing.B) { benchmarkExperiment(b, ExpAblTrueLRU) }
+
+// BenchmarkSweepRate regenerates the oversubscription-rate extension sweep.
+func BenchmarkSweepRate(b *testing.B) { benchmarkExperiment(b, ExpSweepRate) }
+
+// BenchmarkBreakdown regenerates the translation-latency breakdown report.
+func BenchmarkBreakdown(b *testing.B) { benchmarkExperiment(b, ExpBreakdown) }
+
+// BenchmarkClaimsSelfCheck runs the executable reproduction self-check: every
+// ordinal claim of the paper's evaluation, asserted against this simulator.
+func BenchmarkClaimsSelfCheck(b *testing.B) { benchmarkExperiment(b, ExpClaims) }
+
+// BenchmarkRobustness re-runs the headline comparison across workload seeds.
+func BenchmarkRobustness(b *testing.B) { benchmarkExperiment(b, ExpRobustness) }

@@ -1,0 +1,134 @@
+// Command cppe-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	cppe-bench                     # all experiments, paper order
+//	cppe-bench -exp fig8           # one experiment
+//	cppe-bench -list               # list experiment ids
+//	cppe-bench -scale 0.1 -exp fig3
+//
+// Output is aligned text; simulation results are cached within one
+// invocation, so experiments that share runs (e.g. the Fig. 9 pair) do not
+// repeat them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	cppe "github.com/reproductions/cppe"
+)
+
+// writeCSV stores one experiment's table as <dir>/<id>.csv.
+func writeCSV(s *cppe.Session, dir, id string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	err = s.ExperimentCSV(id, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (empty = all); see -list")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		scale   = flag.Float64("scale", 0, "workload footprint scale (default 0.25)")
+		warps   = flag.Int("warps", 0, "concurrent access streams (default 64)")
+		seed    = flag.Int64("seed", 0, "workload/PRNG seed")
+		par     = flag.Int("parallel", 0, "concurrent simulations (default GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "print per-experiment timing")
+		bars    = flag.Bool("bars", false, "render figure experiments as ASCII bar charts")
+		csvDir  = flag.String("csv", "", "also write each experiment as CSV into this directory")
+		sysCfg  = flag.String("config", "", "JSON file overriding Table-I system parameters")
+		dumpCfg = flag.Bool("dump-config", false, "print the default system configuration as JSON and exit")
+		check   = flag.Bool("check", false, "run the claims self-check and exit non-zero if any claim fails")
+	)
+	flag.Parse()
+
+	if *dumpCfg {
+		fmt.Printf("%s\n", cppe.DefaultSystemJSON())
+		return
+	}
+	if *list {
+		for _, id := range cppe.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := cppe.Options{Scale: *scale, Warps: *warps, Seed: *seed, Parallelism: *par}
+	var s *cppe.Session
+	if *sysCfg != "" {
+		data, err := os.ReadFile(*sysCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
+		}
+		s, err = cppe.NewSessionWithSystem(opt, data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
+		}
+	} else {
+		s = cppe.NewSession(opt)
+	}
+
+	if *check {
+		out, err := s.Experiment(cppe.ExpClaims)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if strings.Contains(out, "FAIL") {
+			fmt.Fprintln(os.Stderr, "cppe-bench: claims self-check FAILED")
+			os.Exit(1)
+		}
+		return
+	}
+
+	ids := cppe.Experiments()
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		t0 := time.Now()
+		var out string
+		var err error
+		if *bars {
+			out, err = s.ExperimentBars(id)
+			if err != nil && *exp == "" {
+				// In all-experiments mode, fall back to tables for
+				// non-figure artifacts.
+				out, err = s.Experiment(id)
+			}
+		} else {
+			out, err = s.Experiment(id)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		if *csvDir != "" {
+			if err := writeCSV(s, *csvDir, id); err != nil {
+				fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+				os.Exit(1)
+			}
+		}
+		if *verbose {
+			fmt.Printf("[%s: %v, %d cached simulations]\n\n", id, time.Since(t0).Round(time.Millisecond), s.CachedRuns())
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package cppe_test
+
+import (
+	"fmt"
+
+	cppe "github.com/reproductions/cppe"
+)
+
+// The benchmark registry mirrors Table II of the paper.
+func ExampleBenchmarks() {
+	all := cppe.Benchmarks()
+	fmt.Println(len(all), "benchmarks")
+	fmt.Println("first:", all[0], "last:", all[len(all)-1])
+	// Output:
+	// 23 benchmarks
+	// first: HOT last: HYB
+}
+
+// Setups lists the policy + prefetcher combinations of the evaluation.
+func ExampleSetups() {
+	for _, s := range cppe.Setups()[:3] {
+		fmt.Println(s)
+	}
+	// Output:
+	// baseline
+	// cppe
+	// cppe-s1
+}
+
+// Speedup renders crashed runs as 0 so figures can mark them 'X'.
+func ExampleSpeedup() {
+	base := cppe.Result{Cycles: 3000}
+	fast := cppe.Result{Cycles: 1500}
+	crashed := cppe.Result{Cycles: 9999, Crashed: true}
+	fmt.Printf("%.1f\n", cppe.Speedup(base, fast))
+	fmt.Printf("%.1f\n", cppe.Speedup(base, crashed))
+	// Output:
+	// 2.0
+	// 0.0
+}
+
+// A Session runs simulations and regenerates paper artifacts. This example
+// runs one small simulation; outputs are deterministic but depend on the
+// model constants, so it prints only a stable derived fact.
+func ExampleSession_Run() {
+	s := cppe.NewSession(cppe.Options{Scale: 0.05, Warps: 16})
+	r, err := s.Run(cppe.Request{
+		Benchmark:        "STN",
+		Setup:            cppe.SetupCPPE,
+		Oversubscription: 50,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed:", r.Accesses > 0 && r.Cycles > 0)
+	fmt.Println("oversubscribed:", r.CapacityPages < r.FootprintPages)
+	// Output:
+	// completed: true
+	// oversubscribed: true
+}

@@ -1,0 +1,47 @@
+// Oversubscription sweep: how execution time, fault count and eviction
+// traffic grow as less and less of an application's footprint fits in GPU
+// memory — under the baseline and under CPPE.
+//
+//	go run ./examples/oversubscription
+//	go run ./examples/oversubscription -bench NW
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	cppe "github.com/reproductions/cppe"
+)
+
+func main() {
+	bench := flag.String("bench", "HSD", "Table II benchmark abbreviation")
+	flag.Parse()
+
+	s := cppe.NewSession(cppe.Options{})
+
+	// 0 means unlimited memory: the no-oversubscription reference.
+	rates := []int{0, 90, 75, 50, 40, 30}
+
+	fmt.Printf("benchmark %s: oversubscription sweep\n", *bench)
+	fmt.Printf("%-6s  %-10s %14s %10s %10s %10s\n",
+		"fits", "setup", "cycles", "slowdown", "faults", "evictions")
+
+	ref := make(map[string]cppe.Result)
+	for _, rate := range rates {
+		for _, setup := range []string{cppe.SetupBaseline, cppe.SetupCPPE} {
+			r := s.MustRun(cppe.Request{Benchmark: *bench, Setup: setup, Oversubscription: rate})
+			if rate == 0 {
+				ref[setup] = r
+			}
+			slowdown := float64(r.Cycles) / float64(ref[setup].Cycles)
+			label := "all"
+			if rate > 0 {
+				label = fmt.Sprintf("%d%%", rate)
+			}
+			fmt.Printf("%-6s  %-10s %14d %9.2fx %10d %10d\n",
+				label, setup, r.Cycles, slowdown, r.FaultEvents, r.EvictedPages)
+		}
+	}
+	fmt.Println("\nslowdown is relative to the same setup with unlimited GPU memory;")
+	fmt.Println("the gap between baseline and cppe rows is the paper's Fig. 8 effect.")
+}

@@ -1,0 +1,54 @@
+// Policy comparison: one representative benchmark per access-pattern type,
+// run under every eviction-policy/prefetcher setup at 50% oversubscription.
+// This reproduces the qualitative story of the paper's Figs. 3, 9 and 10 in
+// one grid: reserved LRU helps thrashing but wrecks region-moving apps,
+// disabling prefetch wrecks regular apps, and CPPE is the only setup that is
+// never the worst.
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+
+	cppe "github.com/reproductions/cppe"
+)
+
+func main() {
+	s := cppe.NewSession(cppe.Options{})
+
+	// One representative per Table II pattern type.
+	benches := []struct{ abbr, typ string }{
+		{"2DC", "I/streaming"},
+		{"KMN", "II/partly-rep"},
+		{"NW", "III/mostly-rep"},
+		{"SRD", "IV/thrashing"},
+		{"HIS", "V/rep-thrash"},
+		{"B+T", "VI/region-move"},
+	}
+	setups := []string{
+		cppe.SetupRandom, cppe.SetupReservedLRU10, cppe.SetupReservedLRU20,
+		cppe.SetupDisableOnFull, cppe.SetupHPE, cppe.SetupTree, cppe.SetupCPPE,
+	}
+
+	fmt.Printf("%-5s %-15s", "App", "Type")
+	for _, su := range setups {
+		fmt.Printf(" %15s", su)
+	}
+	fmt.Println()
+
+	for _, b := range benches {
+		base := s.MustRun(cppe.Request{Benchmark: b.abbr, Setup: cppe.SetupBaseline, Oversubscription: 50})
+		fmt.Printf("%-5s %-15s", b.abbr, b.typ)
+		for _, su := range setups {
+			r := s.MustRun(cppe.Request{Benchmark: b.abbr, Setup: su, Oversubscription: 50})
+			if sp := cppe.Speedup(base, r); sp > 0 {
+				fmt.Printf(" %14.2fx", sp)
+			} else {
+				fmt.Printf(" %15s", "X")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nspeedup over the baseline (LRU + locality prefetch) at 50% oversubscription")
+}

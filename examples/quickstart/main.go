@@ -1,0 +1,37 @@
+// Quickstart: simulate one benchmark under the paper's CPPE system and the
+// state-of-the-art baseline, and report the speedup.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	cppe "github.com/reproductions/cppe"
+)
+
+func main() {
+	// A session caches simulation results; all runs are deterministic.
+	s := cppe.NewSession(cppe.Options{})
+
+	const bench = "SRD" // srad_v2: a Type IV (thrashing) Rodinia workload
+	const rate = 50     // 50% of the footprint fits in GPU memory
+
+	baseline := s.MustRun(cppe.Request{
+		Benchmark:        bench,
+		Setup:            cppe.SetupBaseline, // LRU + locality prefetch
+		Oversubscription: rate,
+	})
+	coordinated := s.MustRun(cppe.Request{
+		Benchmark:        bench,
+		Setup:            cppe.SetupCPPE, // MHPE + pattern-aware prefetch
+		Oversubscription: rate,
+	})
+
+	fmt.Printf("benchmark %s at %d%% oversubscription\n", bench, rate)
+	fmt.Printf("  baseline: %12d cycles, %5d faults, %6d pages evicted\n",
+		baseline.Cycles, baseline.FaultEvents, baseline.EvictedPages)
+	fmt.Printf("  CPPE:     %12d cycles, %5d faults, %6d pages evicted\n",
+		coordinated.Cycles, coordinated.FaultEvents, coordinated.EvictedPages)
+	fmt.Printf("  speedup:  %.2fx\n", cppe.Speedup(baseline, coordinated))
+}

@@ -1,0 +1,3 @@
+module github.com/reproductions/cppe
+
+go 1.22

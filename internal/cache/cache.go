@@ -1,0 +1,183 @@
+// Package cache implements the set-associative data caches of the simulated
+// GPU (per-SM L1, shared L2) and the page-walk cache, all LRU (Table I).
+//
+// The cache is a tag store only — the simulator never materializes data — and
+// is used by the timing model to decide at which level of the hierarchy an
+// access is served. Write policy is write-back/write-allocate; a victim's
+// dirty state is surfaced to the caller so DRAM write traffic can be charged.
+package cache
+
+import (
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is a set-associative, LRU, write-back tag store.
+type Cache struct {
+	name   string
+	sets   int
+	ways   int
+	lineSz int
+	shift  uint
+	lines  []line
+	tick   uint64
+
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	writebacks uint64
+}
+
+// New builds a cache from total capacity, associativity and line size.
+func New(name string, capacityBytes, ways, lineSize int) *Cache {
+	if capacityBytes <= 0 || ways <= 0 || lineSize <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry cap=%d ways=%d line=%d", name, capacityBytes, ways, lineSize))
+	}
+	linesTotal := capacityBytes / lineSize
+	if linesTotal == 0 || linesTotal%ways != 0 {
+		panic(fmt.Sprintf("cache %s: %d lines not divisible by %d ways", name, linesTotal, ways))
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	if 1<<shift != lineSize {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", name, lineSize))
+	}
+	return &Cache{
+		name:   name,
+		sets:   linesTotal / ways,
+		ways:   ways,
+		lineSz: lineSize,
+		shift:  shift,
+		lines:  make([]line, linesTotal),
+	}
+}
+
+func (c *Cache) indexOf(a memdef.VirtAddr) (set int, tag uint64) {
+	blk := uint64(a) >> c.shift
+	return int(blk % uint64(c.sets)), blk / uint64(c.sets)
+}
+
+// AccessResult describes the outcome of one cache access.
+type AccessResult struct {
+	Hit bool
+	// WritebackVictim is true when the access allocated a line whose victim
+	// was dirty and must be written to the next level.
+	WritebackVictim bool
+}
+
+// Access performs a read or write access with allocate-on-miss. It returns
+// whether the access hit and whether a dirty victim was displaced.
+func (c *Cache) Access(a memdef.VirtAddr, kind memdef.AccessKind) AccessResult {
+	set, tag := c.indexOf(a)
+	base := set * c.ways
+	c.tick++
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			l.lru = c.tick
+			if kind == memdef.Write {
+				l.dirty = true
+			}
+			c.hits++
+			return AccessResult{Hit: true}
+		}
+	}
+	c.misses++
+	// Allocate: choose invalid way or LRU victim.
+	victim := base
+	var victimLRU uint64 = ^uint64(0)
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if !l.valid {
+			victim = base + i
+			victimLRU = 0
+			break
+		}
+		if l.lru < victimLRU {
+			victim = base + i
+			victimLRU = l.lru
+		}
+	}
+	wb := c.lines[victim].valid && c.lines[victim].dirty
+	if c.lines[victim].valid {
+		c.evictions++
+	}
+	if wb {
+		c.writebacks++
+	}
+	c.lines[victim] = line{tag: tag, valid: true, dirty: kind == memdef.Write, lru: c.tick}
+	return AccessResult{Hit: false, WritebackVictim: wb}
+}
+
+// Probe reports whether a is cached, without perturbing state or stats.
+func (c *Cache) Probe(a memdef.VirtAddr) bool {
+	set, tag := c.indexOf(a)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidatePage drops every line belonging to virtual page p (used on page
+// eviction so stale data does not linger; returns the number of lines
+// dropped, counting dirty ones as write-backs to the host).
+func (c *Cache) InvalidatePage(p memdef.PageNum) int {
+	dropped := 0
+	first := p.Addr()
+	for off := 0; off < memdef.PageBytes; off += c.lineSz {
+		set, tag := c.indexOf(first + memdef.VirtAddr(off))
+		base := set * c.ways
+		for i := 0; i < c.ways; i++ {
+			l := &c.lines[base+i]
+			if l.valid && l.tag == tag {
+				l.valid = false
+				dropped++
+			}
+		}
+	}
+	return dropped
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Name       string
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Stats returns a snapshot of counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Name: c.name, Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Writebacks: c.writebacks}
+}
+
+// LineSize returns the configured line size in bytes.
+func (c *Cache) LineSize() int { return c.lineSz }
+
+// Sets and Ways expose geometry.
+func (c *Cache) Sets() int { return c.sets }
+func (c *Cache) Ways() int { return c.ways }

@@ -1,0 +1,29 @@
+package cache
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// BenchmarkAccessHit measures the in-cache fast path (Table I L1 geometry).
+func BenchmarkAccessHit(b *testing.B) {
+	c := New("l1", 48<<10, 6, 128)
+	for a := memdef.VirtAddr(0); a < 48<<10; a += 128 {
+		c.Access(a, memdef.Read)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(memdef.VirtAddr(i%(48<<10)), memdef.Read)
+	}
+}
+
+// BenchmarkAccessStream measures the always-miss streaming path with
+// replacement (Table I L2 geometry).
+func BenchmarkAccessStream(b *testing.B) {
+	c := New("l2", 3<<20, 16, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(memdef.VirtAddr(i)*128, memdef.Write)
+	}
+}

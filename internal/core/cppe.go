@@ -1,0 +1,319 @@
+// Package core assembles CPPE — Coordinated Page Prefetch and Eviction — the
+// paper's contribution (Section IV): the MHPE eviction policy and the access
+// pattern-aware prefetcher, coupled in a fine-grained manner through the UVM
+// driver's event flow:
+//
+//   - MHPE is prefetch-semantics-aware: it classifies the application by the
+//     untouch level of evicted (prefetched) chunks instead of by touch
+//     counters, which prefetching would pollute;
+//   - the prefetcher is eviction-aware: the touch patterns it replays come
+//     from the eviction candidates MHPE selects.
+//
+// The package also defines the named system Setups (policy + prefetcher
+// pairs) that the evaluation compares, and the Section VI-C overhead
+// accounting.
+package core
+
+import (
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/prefetch"
+)
+
+// Options configure a CPPE instance. The zero value uses the paper's
+// parameters (T1=32, T2=40, T3=32, Scheme-2, record-at-untouch>=8).
+type Options struct {
+	// Scheme is the pattern-buffer deletion scheme (default Scheme2, the
+	// better performer in Fig. 7).
+	Scheme prefetch.DeletionScheme
+	// MHPE overrides individual Algorithm-1 parameters.
+	MHPE evict.MHPEOptions
+	// PatternMinUntouch is the minimum untouch level for recording a chunk
+	// in the pattern buffer (default 8).
+	PatternMinUntouch int
+}
+
+// Instance is a wired CPPE: hand Policy and Prefetcher to the UVM manager.
+type Instance struct {
+	Policy     *evict.MHPE
+	Prefetcher *prefetch.Pattern
+}
+
+// New builds a CPPE instance from the system configuration.
+func New(cfg memdef.Config, opt Options) *Instance {
+	if opt.Scheme == 0 {
+		opt.Scheme = prefetch.Scheme2
+	}
+	if opt.PatternMinUntouch == 0 {
+		opt.PatternMinUntouch = cfg.PatternMinUntouch
+	}
+	mo := opt.MHPE
+	if mo.T1 == 0 {
+		mo.T1 = cfg.T1
+	}
+	if mo.T2 == 0 {
+		mo.T2 = cfg.T2
+	}
+	if mo.T3 == 0 {
+		mo.T3 = cfg.T3
+	}
+	if mo.IntervalPages == 0 {
+		mo.IntervalPages = cfg.IntervalPages
+	}
+	return &Instance{
+		Policy:     evict.NewMHPE(mo),
+		Prefetcher: prefetch.NewPattern(opt.Scheme, opt.PatternMinUntouch),
+	}
+}
+
+// entryBytes is the Section VI-C cost of one structure entry: an 8-byte tag
+// plus a 4-byte bit set.
+const entryBytes = 12
+
+// Overhead is the Section VI-C storage accounting for CPPE's three
+// structures (all held in CPU memory by the driver).
+type Overhead struct {
+	ChainEntries         int
+	PatternEntries       int
+	WrongEvictionEntries int
+}
+
+// TotalEntries sums the three structures.
+func (o Overhead) TotalEntries() int {
+	return o.ChainEntries + o.PatternEntries + o.WrongEvictionEntries
+}
+
+// TotalBytes is entries x 12 B (8 B tag + 4 B bit set).
+func (o Overhead) TotalBytes() int { return o.TotalEntries() * entryBytes }
+
+func (o Overhead) String() string {
+	return fmt.Sprintf("chain=%d pattern=%d wrongbuf=%d total=%d entries (%.1f KB)",
+		o.ChainEntries, o.PatternEntries, o.WrongEvictionEntries,
+		o.TotalEntries(), float64(o.TotalBytes())/1024)
+}
+
+// Overhead reports the current structure sizes.
+func (i *Instance) Overhead() Overhead {
+	return Overhead{
+		ChainEntries:         i.Policy.ChainLen(),
+		PatternEntries:       i.Prefetcher.Len(),
+		WrongEvictionEntries: i.Policy.Stats().BufferCap,
+	}
+}
+
+// Setup names one (eviction policy, prefetcher) combination from the
+// evaluation. NewPolicy takes a deterministic seed (only Random uses it).
+type Setup struct {
+	Name string
+	// Description says which figure/table the setup appears in.
+	Description   string
+	NewPolicy     func(cfg memdef.Config, seed int64) evict.Policy
+	NewPrefetcher func(cfg memdef.Config) prefetch.Prefetcher
+}
+
+// The named setups of the evaluation.
+var (
+	// SetupBaseline is the state-of-the-art software baseline [16]:
+	// sequential-local prefetcher + LRU pre-eviction, prefetching naively
+	// under oversubscription.
+	SetupBaseline = Setup{
+		Name:        "baseline",
+		Description: "LRU + locality prefetch (Ganguly et al. [16])",
+		NewPolicy:   func(memdef.Config, int64) evict.Policy { return evict.NewLRU() },
+		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewLocality()
+		},
+	}
+
+	// SetupCPPE is the paper's system with deletion Scheme-2.
+	SetupCPPE = Setup{
+		Name:        "cppe",
+		Description: "MHPE + pattern-aware prefetch, Scheme-2 (this paper)",
+		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+			return New(cfg, Options{Scheme: prefetch.Scheme2}).Policy
+		},
+		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
+		},
+	}
+
+	// SetupCPPES1 is CPPE with deletion Scheme-1 (Fig. 7).
+	SetupCPPES1 = Setup{
+		Name:        "cppe-s1",
+		Description: "MHPE + pattern-aware prefetch, Scheme-1 (Fig. 7)",
+		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+			return New(cfg, Options{Scheme: prefetch.Scheme1}).Policy
+		},
+		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewPattern(prefetch.Scheme1, cfg.PatternMinUntouch)
+		},
+	}
+
+	// SetupRandom is Random eviction + locality prefetch (Fig. 3/9).
+	SetupRandom = Setup{
+		Name:        "random",
+		Description: "Random eviction + locality prefetch (Fig. 3/9)",
+		NewPolicy: func(_ memdef.Config, seed int64) evict.Policy {
+			return evict.NewRandom(seed)
+		},
+		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewLocality()
+		},
+	}
+
+	// SetupDisableOnFull turns prefetching off once memory fills (Fig. 10).
+	SetupDisableOnFull = Setup{
+		Name:        "disable-on-full",
+		Description: "LRU + prefetch disabled when memory full (Fig. 10)",
+		NewPolicy:   func(memdef.Config, int64) evict.Policy { return evict.NewLRU() },
+		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewDisableOnFull()
+		},
+	}
+
+	// SetupHPE couples the original HPE with the locality prefetcher — the
+	// Inefficiency-1 ablation.
+	SetupHPE = Setup{
+		Name:        "hpe",
+		Description: "original HPE + locality prefetch (Inefficiency 1 ablation)",
+		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+			return evict.NewHPE(evict.HPEOptions{IntervalPages: cfg.IntervalPages})
+		},
+		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewLocality()
+		},
+	}
+
+	// SetupTree couples LRU with the tree-based neighborhood prefetcher
+	// (extension ablation).
+	SetupTree = Setup{
+		Name:        "tree",
+		Description: "LRU + tree-based neighborhood prefetch (ablation)",
+		NewPolicy:   func(memdef.Config, int64) evict.Policy { return evict.NewLRU() },
+		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewTree()
+		},
+	}
+)
+
+// SetupTrueLRU is the oracle ablation: LRU over actual GPU-side touch
+// recency, which a real driver cannot observe. It bounds how much of the
+// driver's visibility handicap MHPE recovers.
+var SetupTrueLRU = Setup{
+	Name:        "true-lru",
+	Description: "oracle touch-recency LRU + locality prefetch (visibility ablation)",
+	NewPolicy:   func(memdef.Config, int64) evict.Policy { return evict.NewTrueLRU() },
+	NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
+		return prefetch.NewLocality()
+	},
+}
+
+// SetupCPPEInterval is CPPE with an overridden interval length in migrated
+// pages (the interval-length design ablation; the paper fixes 64).
+func SetupCPPEInterval(pages int) Setup {
+	return Setup{
+		Name:        fmt.Sprintf("cppe-int-%d", pages),
+		Description: "CPPE with overridden interval length (design ablation)",
+		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+			return evict.NewMHPE(evict.MHPEOptions{
+				T1: cfg.T1, T2: cfg.T2, T3: cfg.T3,
+				IntervalPages: pages,
+			})
+		},
+		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
+		},
+	}
+}
+
+// SetupCPPEBuffer is CPPE with a fixed wrong-eviction buffer capacity instead
+// of the chain-length-scaled rule (the buffer-sizing design ablation).
+func SetupCPPEBuffer(capacity int) Setup {
+	return Setup{
+		Name:        fmt.Sprintf("cppe-buf-%d", capacity),
+		Description: "CPPE with fixed wrong-eviction buffer (design ablation)",
+		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+			return evict.NewMHPE(evict.MHPEOptions{
+				T1: cfg.T1, T2: cfg.T2, T3: cfg.T3,
+				IntervalPages:  cfg.IntervalPages,
+				FixedBufferCap: capacity,
+			})
+		},
+		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
+		},
+	}
+}
+
+// SetupCPPEFwd is CPPE with a fixed initial forward distance instead of the
+// chainLen/100 rule (the initialization design ablation).
+func SetupCPPEFwd(initial int) Setup {
+	return Setup{
+		Name:        fmt.Sprintf("cppe-fwd-%d", initial),
+		Description: "CPPE with fixed initial forward distance (design ablation)",
+		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+			return evict.NewMHPE(evict.MHPEOptions{
+				T1: cfg.T1, T2: cfg.T2, T3: cfg.T3,
+				IntervalPages:          cfg.IntervalPages,
+				InitialForwardDistance: initial,
+			})
+		},
+		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
+		},
+	}
+}
+
+// SetupReservedLRU returns reserved LRU with the given reserved fraction +
+// locality prefetch (LRU-10% / LRU-20% in Fig. 3/9).
+func SetupReservedLRU(fraction float64) Setup {
+	return Setup{
+		Name:        fmt.Sprintf("lru-%d%%", int(fraction*100+0.5)),
+		Description: "reserved LRU + locality prefetch (Fig. 3/9)",
+		NewPolicy: func(_ memdef.Config, _ int64) evict.Policy {
+			return evict.NewReservedLRU(fraction)
+		},
+		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewLocality()
+		},
+	}
+}
+
+// SetupMHPEProbe runs MHPE frozen at MRU with the initial forward distance —
+// the measurement mode behind Tables III/IV.
+func SetupMHPEProbe() Setup {
+	return Setup{
+		Name:        "mhpe-probe",
+		Description: "MHPE probe mode (MRU frozen) for Tables III/IV",
+		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+			return evict.NewMHPE(evict.MHPEOptions{
+				T1: cfg.T1, T2: cfg.T2, T3: cfg.T3,
+				IntervalPages: cfg.IntervalPages,
+				DisableSwitch: true,
+			})
+		},
+		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewLocality()
+		},
+	}
+}
+
+// SetupCPPET3 is CPPE with an overridden forward-distance limit T3 (the
+// Section VI-A sensitivity sweep).
+func SetupCPPET3(t3 int) Setup {
+	return Setup{
+		Name:        fmt.Sprintf("cppe-t3-%d", t3),
+		Description: "CPPE with forward-distance limit override (T3 sweep)",
+		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+			return evict.NewMHPE(evict.MHPEOptions{
+				T1: cfg.T1, T2: cfg.T2, T3: t3,
+				IntervalPages: cfg.IntervalPages,
+			})
+		},
+		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
+		},
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/prefetch"
+)
+
+func TestNewDefaultsFromConfig(t *testing.T) {
+	cfg := memdef.DefaultConfig()
+	inst := New(cfg, Options{})
+	if inst.Policy == nil || inst.Prefetcher == nil {
+		t.Fatal("nil components")
+	}
+	if inst.Prefetcher.Scheme() != prefetch.Scheme2 {
+		t.Fatal("default scheme must be Scheme-2")
+	}
+	if inst.Policy.Strategy() != evict.StrategyMRU {
+		t.Fatal("MHPE must start at MRU")
+	}
+}
+
+func TestNewRespectsOverrides(t *testing.T) {
+	cfg := memdef.DefaultConfig()
+	inst := New(cfg, Options{
+		Scheme: prefetch.Scheme1,
+		MHPE:   evict.MHPEOptions{T3: 16},
+	})
+	if inst.Prefetcher.Scheme() != prefetch.Scheme1 {
+		t.Fatal("scheme override ignored")
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	cfg := memdef.DefaultConfig()
+	inst := New(cfg, Options{})
+	// Drive the policy a little: migrate 130 chunks, trigger memory full.
+	for i := 0; i < 130; i++ {
+		inst.Policy.OnMigrate(memdef.ChunkID(i), memdef.FullBitmap)
+	}
+	inst.Policy.SelectVictim(func(memdef.ChunkID) bool { return false })
+	inst.Prefetcher.OnEvict(0, memdef.PageBitmap(1), 15)
+
+	o := inst.Overhead()
+	if o.ChainEntries != 130 {
+		t.Fatalf("chain entries = %d", o.ChainEntries)
+	}
+	if o.PatternEntries != 1 {
+		t.Fatalf("pattern entries = %d", o.PatternEntries)
+	}
+	if o.WrongEvictionEntries != 16 { // 130/64*8 = 16
+		t.Fatalf("wrong-eviction entries = %d", o.WrongEvictionEntries)
+	}
+	if o.TotalEntries() != 147 {
+		t.Fatalf("total = %d", o.TotalEntries())
+	}
+	if o.TotalBytes() != 147*12 {
+		t.Fatalf("bytes = %d", o.TotalBytes())
+	}
+	if o.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestSetupsConstructDistinctInstances(t *testing.T) {
+	cfg := memdef.DefaultConfig()
+	setups := []Setup{
+		SetupBaseline, SetupCPPE, SetupCPPES1, SetupRandom,
+		SetupDisableOnFull, SetupHPE, SetupTree,
+		SetupReservedLRU(0.10), SetupReservedLRU(0.20),
+		SetupMHPEProbe(), SetupCPPET3(16),
+	}
+	names := map[string]bool{}
+	for _, s := range setups {
+		if s.Name == "" || names[s.Name] {
+			t.Fatalf("bad/duplicate setup name %q", s.Name)
+		}
+		names[s.Name] = true
+		p1 := s.NewPolicy(cfg, 1)
+		p2 := s.NewPolicy(cfg, 1)
+		if p1 == nil || p2 == nil {
+			t.Fatalf("%s: nil policy", s.Name)
+		}
+		if p1 == p2 {
+			t.Fatalf("%s: policy factory returned shared instance", s.Name)
+		}
+		if s.NewPrefetcher(cfg) == nil {
+			t.Fatalf("%s: nil prefetcher", s.Name)
+		}
+	}
+}
+
+func TestSetupNames(t *testing.T) {
+	if SetupBaseline.Name != "baseline" || SetupCPPE.Name != "cppe" {
+		t.Fatal("canonical names changed")
+	}
+	if got := SetupReservedLRU(0.20).Name; got != "lru-20%" {
+		t.Fatalf("reserved name = %q", got)
+	}
+	if got := SetupCPPET3(24).Name; got != "cppe-t3-24" {
+		t.Fatalf("t3 name = %q", got)
+	}
+}
+
+func TestProbeSetupFrozenAtMRU(t *testing.T) {
+	cfg := memdef.DefaultConfig()
+	pol := SetupMHPEProbe().NewPolicy(cfg, 0).(*evict.MHPE)
+	for i := 0; i < 12; i++ {
+		pol.OnMigrate(memdef.ChunkID(i), memdef.FullBitmap)
+	}
+	pol.SelectVictim(func(memdef.ChunkID) bool { return false })
+	for i := 0; i < 4; i++ {
+		pol.OnEvicted(memdef.ChunkID(100+i), 15)
+	}
+	for i := 0; i < 4; i++ {
+		pol.OnMigrate(memdef.ChunkID(200+i), memdef.FullBitmap)
+	}
+	if pol.Strategy() != evict.StrategyMRU {
+		t.Fatal("probe setup switched to LRU")
+	}
+}

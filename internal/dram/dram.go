@@ -1,0 +1,150 @@
+// Package dram models the GPU's GDDR5 memory system: 12 channels, each with
+// 16 banks and an FR-FCFS-flavoured scheduler (Table I).
+//
+// The model is a timing approximation suitable for an event-driven simulator.
+// Each channel has per-bank row buffers and a shared data bus:
+//
+//   - a request occupies its bank for the row-hit latency when it targets the
+//     bank's open row, or the row-miss (precharge+activate) latency
+//     otherwise; requests to different banks overlap (bank-level
+//     parallelism);
+//   - the burst transfer then occupies the channel's data bus, on which all
+//     of the channel's requests serialize.
+//
+// FR-FCFS's row-hit-first effect is captured structurally: a row hit's bank
+// time is short, so it reaches the bus ahead of older row misses to other
+// rows of the same bank, which is what the policy buys in practice without
+// simulating a full command scheduler.
+package dram
+
+import (
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/engine"
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// bank is one DRAM bank with an open-row buffer.
+type bank struct {
+	res     *engine.Resource
+	openRow uint64
+	hasRow  bool
+
+	rowHits   uint64
+	rowMisses uint64
+}
+
+// channel is one GDDR5 channel: banks plus a shared data bus.
+type channel struct {
+	banks []*bank
+	bus   *engine.Resource
+}
+
+// DRAM is the multi-channel memory system.
+type DRAM struct {
+	eng      *engine.Engine
+	cfg      memdef.Config
+	channels []*channel
+	rowShift uint
+	reads    uint64
+	writes   uint64
+}
+
+// New builds the DRAM model from the Table-I configuration.
+func New(eng *engine.Engine, cfg memdef.Config) *DRAM {
+	if cfg.DRAMChannels <= 0 || cfg.DRAMBanksPerChannel <= 0 {
+		panic("dram: bad geometry")
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.DRAMRowBytes {
+		shift++
+	}
+	d := &DRAM{eng: eng, cfg: cfg, rowShift: shift}
+	for i := 0; i < cfg.DRAMChannels; i++ {
+		ch := &channel{bus: engine.NewResource(eng, fmt.Sprintf("dram-ch%d-bus", i))}
+		for b := 0; b < cfg.DRAMBanksPerChannel; b++ {
+			ch.banks = append(ch.banks, &bank{
+				res: engine.NewResource(eng, fmt.Sprintf("dram-ch%d-bank%d", i, b)),
+			})
+		}
+		d.channels = append(d.channels, ch)
+	}
+	return d
+}
+
+// route maps an address to (channel, bank, row): rows interleave across
+// channels, then across banks within the channel.
+func (d *DRAM) route(a memdef.VirtAddr) (*channel, *bank, uint64) {
+	row := uint64(a) >> d.rowShift
+	ch := d.channels[row%uint64(len(d.channels))]
+	bk := ch.banks[(row/uint64(len(d.channels)))%uint64(len(ch.banks))]
+	return ch, bk, row
+}
+
+// Access schedules a memory access of the given kind to address a, invoking
+// done when the data is available (read) or committed (write). The returned
+// cycle is the completion time.
+func (d *DRAM) Access(a memdef.VirtAddr, kind memdef.AccessKind, done func()) memdef.Cycle {
+	ch, bk, row := d.route(a)
+	var svc memdef.Cycle
+	if bk.hasRow && bk.openRow == row {
+		svc = d.cfg.DRAMRowHitLat
+		bk.rowHits++
+	} else {
+		svc = d.cfg.DRAMRowMissLat
+		bk.rowMisses++
+		bk.openRow = row
+		bk.hasRow = true
+	}
+	if kind == memdef.Write {
+		d.writes++
+	} else {
+		d.reads++
+	}
+	bankDone := bk.res.Acquire(svc)
+	finish := ch.bus.AcquireAt(bankDone, d.cfg.DRAMBusLat)
+	if done != nil {
+		d.eng.ScheduleAt(finish, done)
+	}
+	return finish
+}
+
+// Stats is a snapshot of DRAM counters.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	// BankBusyCycles is summed over all banks; BusBusyCycles over channels.
+	BankBusyCycles memdef.Cycle
+	BusBusyCycles  memdef.Cycle
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+// Stats returns aggregate counters.
+func (d *DRAM) Stats() Stats {
+	s := Stats{Reads: d.reads, Writes: d.writes}
+	for _, ch := range d.channels {
+		s.BusBusyCycles += ch.bus.BusyCycles()
+		for _, bk := range ch.banks {
+			s.RowHits += bk.rowHits
+			s.RowMisses += bk.rowMisses
+			s.BankBusyCycles += bk.res.BusyCycles()
+		}
+	}
+	return s
+}
+
+// Channels returns the channel count.
+func (d *DRAM) Channels() int { return len(d.channels) }
+
+// Banks returns the per-channel bank count.
+func (d *DRAM) Banks() int { return len(d.channels[0].banks) }

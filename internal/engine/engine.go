@@ -1,0 +1,163 @@
+// Package engine implements the discrete-event simulation core shared by all
+// hardware models. It is deliberately minimal: a time-ordered event queue with
+// deterministic FIFO tie-breaking, and a couple of helpers (resources,
+// deferred wake-ups) that the latency/bandwidth models build on.
+//
+// An Engine is single-goroutine: components schedule closures and the owner
+// drains the queue with Run. Determinism is guaranteed — two events scheduled
+// for the same cycle fire in scheduling order.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// Event is a scheduled closure.
+type event struct {
+	at  memdef.Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+type Engine struct {
+	now    memdef.Cycle
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	budget uint64 // optional hard cap on events per Run; 0 = unlimited
+}
+
+// New returns an empty engine at cycle 0.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() memdef.Cycle { return e.now }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetEventBudget installs a hard cap on the number of events a single Run may
+// fire; exceeding it makes Run return ErrBudget. Zero disables the cap.
+func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
+
+// Schedule runs fn after delay cycles (possibly zero, meaning "later this
+// cycle, after already-queued same-cycle events").
+func (e *Engine) Schedule(delay memdef.Cycle, fn func()) {
+	if fn == nil {
+		panic("engine: Schedule called with nil fn")
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// ScheduleAt runs fn at absolute cycle at. Scheduling in the past panics:
+// components must never rewind time.
+func (e *Engine) ScheduleAt(at memdef.Cycle, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("engine: ScheduleAt(%d) in the past (now=%d)", at, e.now))
+	}
+	e.Schedule(at-e.now, fn)
+}
+
+// ErrBudget is returned by Run when the event budget is exhausted, which in
+// this simulator indicates a livelock (e.g. unbounded fault replay).
+var ErrBudget = fmt.Errorf("engine: event budget exhausted")
+
+// Run drains the event queue until it is empty or until done returns true
+// (checked between events; done may be nil). It returns the cycle at which
+// execution stopped.
+func (e *Engine) Run(done func() bool) (memdef.Cycle, error) {
+	start := e.fired
+	for len(e.queue) > 0 {
+		if done != nil && done() {
+			return e.now, nil
+		}
+		if e.budget != 0 && e.fired-start >= e.budget {
+			return e.now, ErrBudget
+		}
+		ev := heap.Pop(&e.queue).(event)
+		if ev.at < e.now {
+			panic("engine: event time went backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	return e.now, nil
+}
+
+// Resource models a serially shared unit (a bus, a DRAM channel, a port):
+// work items occupy it back-to-back and each caller learns its own completion
+// time. Acquire returns the cycle at which a job of the given duration,
+// requested now, will finish, advancing the resource's horizon.
+type Resource struct {
+	eng  *Engine
+	free memdef.Cycle // next cycle at which the resource is idle
+	name string
+	busy memdef.Cycle // total busy cycles, for utilization stats
+}
+
+// NewResource returns an idle resource bound to eng.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, name: name}
+}
+
+// Acquire books dur cycles of exclusive use starting no earlier than now and
+// no earlier than the end of previously booked work. It returns the
+// completion cycle.
+func (r *Resource) Acquire(dur memdef.Cycle) memdef.Cycle {
+	return r.AcquireAt(r.eng.Now(), dur)
+}
+
+// AcquireAt books dur cycles starting no earlier than `earliest` (and no
+// earlier than now or previously booked work). It lets pipelined stages chain
+// resources: stage two starts when stage one's result is ready.
+func (r *Resource) AcquireAt(earliest memdef.Cycle, dur memdef.Cycle) memdef.Cycle {
+	start := r.eng.Now()
+	if earliest > start {
+		start = earliest
+	}
+	if r.free > start {
+		start = r.free
+	}
+	r.free = start + dur
+	r.busy += dur
+	return r.free
+}
+
+// FreeAt returns the cycle at which the resource becomes idle.
+func (r *Resource) FreeAt() memdef.Cycle { return r.free }
+
+// BusyCycles returns the cumulative booked cycles.
+func (r *Resource) BusyCycles() memdef.Cycle { return r.busy }
+
+// Name returns the diagnostic name of the resource.
+func (r *Resource) Name() string { return r.name }

@@ -1,0 +1,48 @@
+package engine
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// BenchmarkScheduleRun measures raw event throughput: a self-rescheduling
+// chain of events, the simulator's hot path.
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New()
+	left := b.N
+	var tick func()
+	tick = func() {
+		left--
+		if left > 0 {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	b.ResetTimer()
+	if _, err := e.Run(nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkScheduleFanOut measures heap behaviour with many pending events.
+func BenchmarkScheduleFanOut(b *testing.B) {
+	e := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(memdef.Cycle(i%1000), func() {})
+	}
+	if _, err := e.Run(nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceAcquire measures the bandwidth-resource fast path.
+func BenchmarkResourceAcquire(b *testing.B) {
+	e := New()
+	r := NewResource(e, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Acquire(3)
+	}
+}

@@ -1,0 +1,63 @@
+package engine
+
+import "github.com/reproductions/cppe/internal/memdef"
+
+// Semaphore is a counting semaphore for event-driven code: up to cap holders
+// at once, FIFO hand-off to waiters. It models structures with a bounded
+// number of concurrent contexts, such as the 64-walk page table walker.
+type Semaphore struct {
+	eng     *Engine
+	cap     int
+	held    int
+	waiters []func()
+	peak    int
+}
+
+// NewSemaphore returns a semaphore with the given capacity.
+func NewSemaphore(eng *Engine, capacity int) *Semaphore {
+	if capacity <= 0 {
+		panic("engine: semaphore capacity must be positive")
+	}
+	return &Semaphore{eng: eng, cap: capacity}
+}
+
+// Acquire grants a slot to fn as soon as one is available (immediately, via a
+// zero-delay event, if the semaphore is not full).
+func (s *Semaphore) Acquire(fn func()) {
+	if s.held < s.cap {
+		s.held++
+		if s.held > s.peak {
+			s.peak = s.held
+		}
+		s.eng.Schedule(0, fn)
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+}
+
+// Release returns a slot; the oldest waiter (if any) is granted it.
+func (s *Semaphore) Release() {
+	if s.held <= 0 {
+		panic("engine: semaphore released below zero")
+	}
+	if len(s.waiters) > 0 {
+		next := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.eng.Schedule(0, next)
+		return
+	}
+	s.held--
+}
+
+// InUse returns the number of currently held slots.
+func (s *Semaphore) InUse() int { return s.held }
+
+// Waiting returns the number of queued waiters.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }
+
+// Peak returns the maximum concurrent holders observed.
+func (s *Semaphore) Peak() int { return s.peak }
+
+// Latency is a convenience for modeling a fixed-latency, fully pipelined
+// stage: After schedules fn after lat cycles.
+func After(eng *Engine, lat memdef.Cycle, fn func()) { eng.Schedule(lat, fn) }

@@ -1,0 +1,216 @@
+package evict
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+func chainIDs(c *Chain) []memdef.ChunkID {
+	var out []memdef.ChunkID
+	for e := c.Head(); e != nil; e = c.Next(e) {
+		out = append(out, e.Chunk)
+	}
+	return out
+}
+
+func chainIDsReverse(c *Chain) []memdef.ChunkID {
+	var out []memdef.ChunkID
+	for e := c.Tail(); e != nil; e = c.Prev(e) {
+		out = append(out, e.Chunk)
+	}
+	return out
+}
+
+func assertChain(t *testing.T, c *Chain, want ...memdef.ChunkID) {
+	t.Helper()
+	got := chainIDs(c)
+	if len(got) != len(want) {
+		t.Fatalf("chain = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", got, want)
+		}
+	}
+	// Forward and backward traversal must agree.
+	rev := chainIDsReverse(c)
+	for i := range rev {
+		if rev[i] != got[len(got)-1-i] {
+			t.Fatalf("backward traversal inconsistent: fwd %v, rev %v", got, rev)
+		}
+	}
+	if c.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(want))
+	}
+}
+
+func TestChainPushTailOrder(t *testing.T) {
+	c := NewChain()
+	c.PushTail(1)
+	c.PushTail(2)
+	c.PushTail(3)
+	assertChain(t, c, 1, 2, 3)
+	if c.Head().Chunk != 1 || c.Tail().Chunk != 3 {
+		t.Fatal("head/tail wrong")
+	}
+}
+
+func TestChainPushHead(t *testing.T) {
+	c := NewChain()
+	c.PushTail(2)
+	c.PushHead(1)
+	c.PushTail(3)
+	c.PushHead(0)
+	assertChain(t, c, 0, 1, 2, 3)
+}
+
+func TestChainDuplicatePanics(t *testing.T) {
+	c := NewChain()
+	c.PushTail(7)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert did not panic")
+		}
+	}()
+	c.PushTail(7)
+}
+
+func TestChainRemove(t *testing.T) {
+	c := NewChain()
+	for i := memdef.ChunkID(0); i < 5; i++ {
+		c.PushTail(i)
+	}
+	c.Remove(c.Get(2)) // middle
+	assertChain(t, c, 0, 1, 3, 4)
+	c.Remove(c.Get(0)) // head
+	assertChain(t, c, 1, 3, 4)
+	c.Remove(c.Get(4)) // tail
+	assertChain(t, c, 1, 3)
+	c.Remove(c.Get(1))
+	c.Remove(c.Get(3))
+	assertChain(t, c)
+	if c.Head() != nil || c.Tail() != nil {
+		t.Fatal("empty chain has dangling ends")
+	}
+}
+
+func TestChainMoveToTail(t *testing.T) {
+	c := NewChain()
+	for i := memdef.ChunkID(0); i < 4; i++ {
+		c.PushTail(i)
+	}
+	c.MoveToTail(c.Get(1))
+	assertChain(t, c, 0, 2, 3, 1)
+	c.MoveToTail(c.Get(0)) // head to tail
+	assertChain(t, c, 2, 3, 1, 0)
+	c.MoveToTail(c.Get(0)) // already tail: no-op
+	assertChain(t, c, 2, 3, 1, 0)
+}
+
+func TestChainMoveToHead(t *testing.T) {
+	c := NewChain()
+	for i := memdef.ChunkID(0); i < 4; i++ {
+		c.PushTail(i)
+	}
+	c.MoveToHead(c.Get(2))
+	assertChain(t, c, 2, 0, 1, 3)
+	c.MoveToHead(c.Get(3)) // tail to head
+	assertChain(t, c, 3, 2, 0, 1)
+	c.MoveToHead(c.Get(3)) // already head: no-op
+	assertChain(t, c, 3, 2, 0, 1)
+}
+
+func TestChainFromTail(t *testing.T) {
+	c := NewChain()
+	for i := memdef.ChunkID(0); i < 5; i++ {
+		c.PushTail(i)
+	}
+	if e := c.FromTail(0); e.Chunk != 4 {
+		t.Fatalf("FromTail(0) = %v", e.Chunk)
+	}
+	if e := c.FromTail(4); e.Chunk != 0 {
+		t.Fatalf("FromTail(4) = %v", e.Chunk)
+	}
+	if e := c.FromTail(5); e != nil {
+		t.Fatalf("FromTail beyond length = %v", e.Chunk)
+	}
+}
+
+func TestChainPosition(t *testing.T) {
+	c := NewChain()
+	for i := memdef.ChunkID(0); i < 3; i++ {
+		c.PushTail(i)
+	}
+	for i := memdef.ChunkID(0); i < 3; i++ {
+		if p := c.Position(c.Get(i)); p != int(i) {
+			t.Fatalf("Position(%d) = %d", i, p)
+		}
+	}
+}
+
+func TestChainSingleElementMoves(t *testing.T) {
+	c := NewChain()
+	c.PushTail(9)
+	c.MoveToTail(c.Get(9))
+	c.MoveToHead(c.Get(9))
+	assertChain(t, c, 9)
+}
+
+func TestChainRandomizedInvariant(t *testing.T) {
+	c := NewChain()
+	rng := rand.New(rand.NewSource(3))
+	present := map[memdef.ChunkID]bool{}
+	for op := 0; op < 20000; op++ {
+		id := memdef.ChunkID(rng.Intn(200))
+		switch rng.Intn(5) {
+		case 0:
+			if !present[id] {
+				c.PushTail(id)
+				present[id] = true
+			}
+		case 1:
+			if !present[id] {
+				c.PushHead(id)
+				present[id] = true
+			}
+		case 2:
+			if present[id] {
+				c.Remove(c.Get(id))
+				delete(present, id)
+			}
+		case 3:
+			if present[id] {
+				c.MoveToTail(c.Get(id))
+			}
+		case 4:
+			if present[id] {
+				c.MoveToHead(c.Get(id))
+			}
+		}
+	}
+	if c.Len() != len(present) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(present))
+	}
+	ids := chainIDs(c)
+	if len(ids) != len(present) {
+		t.Fatalf("traversal length %d != map %d", len(ids), len(present))
+	}
+	seen := map[memdef.ChunkID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate %v in chain", id)
+		}
+		seen[id] = true
+		if !present[id] {
+			t.Fatalf("ghost %v in chain", id)
+		}
+	}
+	rev := chainIDsReverse(c)
+	for i := range rev {
+		if rev[i] != ids[len(ids)-1-i] {
+			t.Fatal("forward/backward traversal disagree after fuzz")
+		}
+	}
+}

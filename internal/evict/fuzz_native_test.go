@@ -1,0 +1,49 @@
+package evict
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// FuzzMHPE feeds MHPE a driver-plausible event stream decoded from fuzz
+// bytes; no input may panic or break the chain invariants. Run with
+// `go test -fuzz FuzzMHPE ./internal/evict`.
+func FuzzMHPE(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 200, 100, 50, 25})
+	f.Add([]byte{255, 254, 253})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := NewMHPE(MHPEOptions{})
+		resident := map[memdef.ChunkID]bool{}
+		next := memdef.ChunkID(0)
+		for _, b := range data {
+			switch b % 4 {
+			case 0: // migrate new
+				m.OnFault(next)
+				m.OnMigrate(next, memdef.PageBitmap(b)|1)
+				resident[next] = true
+				next++
+			case 1: // touch
+				m.OnTouch(memdef.ChunkID(b), int(b)%memdef.ChunkPages)
+			case 2: // refault
+				m.OnFault(memdef.ChunkID(b) % (next + 1))
+			case 3: // evict
+				if len(resident) == 0 {
+					continue
+				}
+				v, ok := m.SelectVictim(func(memdef.ChunkID) bool { return false })
+				if !ok {
+					t.Fatal("no victim with resident chunks")
+				}
+				if !resident[v] {
+					t.Fatalf("victim %v not resident", v)
+				}
+				m.OnEvicted(v, int(b)%17)
+				delete(resident, v)
+			}
+			if m.ChainLen() != len(resident) {
+				t.Fatalf("chain %d != resident %d", m.ChainLen(), len(resident))
+			}
+		}
+	})
+}

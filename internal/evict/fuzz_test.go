@@ -1,0 +1,138 @@
+package evict
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// policyFuzz drives a policy with a random but driver-plausible event
+// sequence (the same contract the UVM manager honors) and checks invariants
+// after every step:
+//
+//   - SelectVictim only returns currently resident, non-excluded chunks;
+//   - a chunk is never migrated twice without an eviction in between;
+//   - the policy's tracked population matches the reference resident set.
+func policyFuzz(t *testing.T, mk func() Policy, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := mk()
+	resident := map[memdef.ChunkID]bool{}
+	var residentList []memdef.ChunkID
+	next := memdef.ChunkID(0)
+
+	addResident := func(c memdef.ChunkID) {
+		resident[c] = true
+		residentList = append(residentList, c)
+	}
+	dropResident := func(c memdef.ChunkID) {
+		delete(resident, c)
+		for i, x := range residentList {
+			if x == c {
+				residentList[i] = residentList[len(residentList)-1]
+				residentList = residentList[:len(residentList)-1]
+				break
+			}
+		}
+	}
+
+	for i := 0; i < steps; i++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // migrate a new chunk (fault + migration)
+			c := next
+			next++
+			p.OnFault(c)
+			mask := memdef.PageBitmap(rng.Uint32())
+			if mask == 0 {
+				mask = 1
+			}
+			p.OnMigrate(c, mask)
+			addResident(c)
+		case op < 6: // touch a resident chunk
+			if len(residentList) == 0 {
+				continue
+			}
+			c := residentList[rng.Intn(len(residentList))]
+			p.OnTouch(c, rng.Intn(memdef.ChunkPages))
+		case op < 7: // re-fault a resident chunk (partial residency)
+			if len(residentList) == 0 {
+				continue
+			}
+			p.OnFault(residentList[rng.Intn(len(residentList))])
+		default: // evict via SelectVictim
+			if len(residentList) == 0 {
+				continue
+			}
+			// Occasionally exclude a random subset.
+			excluded := map[memdef.ChunkID]bool{}
+			if rng.Intn(2) == 0 {
+				for j := 0; j < len(residentList)/4; j++ {
+					excluded[residentList[rng.Intn(len(residentList))]] = true
+				}
+			}
+			v, ok := p.SelectVictim(func(c memdef.ChunkID) bool { return excluded[c] })
+			if !ok {
+				// Acceptable only if everything is excluded.
+				if len(excluded) < len(residentList) {
+					t.Fatalf("step %d: no victim though %d of %d chunks eligible",
+						i, len(residentList)-len(excluded), len(residentList))
+				}
+				continue
+			}
+			if !resident[v] {
+				t.Fatalf("step %d: victim %v is not resident", i, v)
+			}
+			if excluded[v] {
+				t.Fatalf("step %d: victim %v was excluded", i, v)
+			}
+			p.OnEvicted(v, rng.Intn(memdef.ChunkPages+1))
+			dropResident(v)
+		}
+	}
+}
+
+func TestPolicyFuzzAll(t *testing.T) {
+	policies := map[string]func() Policy{
+		"lru":      func() Policy { return NewLRU() },
+		"true-lru": func() Policy { return NewTrueLRU() },
+		"random":   func() Policy { return NewRandom(42) },
+		"lru-10%":  func() Policy { return NewReservedLRU(0.10) },
+		"lru-20%":  func() Policy { return NewReservedLRU(0.20) },
+		"hpe":      func() Policy { return NewHPE(HPEOptions{}) },
+		"mhpe":     func() Policy { return NewMHPE(MHPEOptions{}) },
+		"mhpe-t3":  func() Policy { return NewMHPE(MHPEOptions{T3: 4, InitialForwardDistance: 9}) },
+	}
+	for name, mk := range policies {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				policyFuzz(t, mk, seed, 4000)
+			}
+		})
+	}
+}
+
+// TestPolicyFuzzWrongEvictionStorm stresses MHPE's wrong-eviction machinery:
+// every eviction is immediately refaulted and remigrated.
+func TestPolicyFuzzWrongEvictionStorm(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	for i := 0; i < 64; i++ {
+		m.OnMigrate(memdef.ChunkID(i), memdef.FullBitmap)
+	}
+	for i := 0; i < 2000; i++ {
+		v, ok := m.SelectVictim(noneExcluded)
+		if !ok {
+			t.Fatal("no victim")
+		}
+		m.OnEvicted(v, i%16)
+		m.OnFault(v) // immediate refault: guaranteed wrong eviction
+		m.OnMigrate(v, memdef.FullBitmap)
+		if m.ChainLen() != 64 {
+			t.Fatalf("chain length drifted to %d", m.ChainLen())
+		}
+	}
+	if m.Stats().WrongEvictions == 0 {
+		t.Fatal("storm produced no wrong evictions")
+	}
+}

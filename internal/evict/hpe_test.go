@@ -1,0 +1,182 @@
+package evict
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// migratePagewise simulates HPE's native (no-prefetch) environment: each page
+// of each chunk arrives via its own fault+migration, so the chunk counter
+// counts genuine touches.
+func migratePagewise(h *HPE, start, chunks, pagesPerChunk int) {
+	for i := 0; i < chunks; i++ {
+		c := memdef.ChunkID(start + i)
+		for p := 0; p < pagesPerChunk; p++ {
+			h.OnFault(c)
+			h.OnMigrate(c, memdef.PageBitmap(1<<uint(p)))
+		}
+	}
+}
+
+func TestHPEClassifiesRegularWithoutPrefetch(t *testing.T) {
+	h := NewHPE(HPEOptions{})
+	// Fully populated chunks, page by page: counters reach 16.
+	migratePagewise(h, 0, 20, 16)
+	h.SelectVictim(noneExcluded)
+	if h.Class() != HPERegular {
+		t.Fatalf("class = %v, want regular", h.Class())
+	}
+	if h.Strategy() != StrategyMRU {
+		t.Fatal("regular class must use MRU-C")
+	}
+	if f := h.Stats().QualifiedFractionAtFull; f != 1.0 {
+		t.Fatalf("qualified fraction = %v", f)
+	}
+}
+
+func TestHPEClassifiesIrregularWithoutPrefetch(t *testing.T) {
+	h := NewHPE(HPEOptions{})
+	// Sparse chunks: only 2 pages each -> counters far below threshold.
+	migratePagewise(h, 0, 40, 2)
+	h.SelectVictim(noneExcluded)
+	if h.Class() != HPEIrregular1 {
+		t.Fatalf("class = %v, want irregular#1", h.Class())
+	}
+	if h.Strategy() != StrategyLRU {
+		t.Fatal("irregular#1 must use LRU")
+	}
+}
+
+func TestHPECounterPollutionWithPrefetch(t *testing.T) {
+	// Inefficiency 1: with chunk-granularity prefetch, a sparse application
+	// looks fully populated because migration (not touch) feeds the counter.
+	h := NewHPE(HPEOptions{})
+	for i := 0; i < 40; i++ {
+		c := memdef.ChunkID(i)
+		h.OnFault(c)
+		h.OnMigrate(c, memdef.FullBitmap) // whole chunk prefetched
+		h.OnTouch(c, 0)                   // but only one page ever touched
+	}
+	h.SelectVictim(noneExcluded)
+	if h.Class() != HPERegular {
+		t.Fatalf("class = %v; pollution should misclassify as regular", h.Class())
+	}
+}
+
+func TestHPEMRUCPicksQualifiedFromOldPartition(t *testing.T) {
+	h := NewHPE(HPEOptions{})
+	// 12 fully-touched chunks, page-wise: 12*16 = 192 pages = 3 intervals.
+	migratePagewise(h, 0, 12, 16)
+	h.SelectVictim(noneExcluded)
+	if h.Class() != HPERegular {
+		t.Fatalf("class = %v", h.Class())
+	}
+	// Old partition = chunks whose last reference interval <= interval-2.
+	// Chain is recency ordered; MRU-C picks the MRU-most old qualified chunk.
+	v, ok := h.SelectVictim(noneExcluded)
+	if !ok {
+		t.Fatal("no victim")
+	}
+	// Must be an old chunk (the last interval contains chunks 8-11).
+	if v >= 8 {
+		t.Fatalf("victim %v from new/middle partition", v)
+	}
+}
+
+func TestHPEMRUCSkipsUnqualified(t *testing.T) {
+	h := NewHPE(HPEOptions{})
+	// 15 full chunks and one sparse chunk placed among the old ones.
+	migratePagewise(h, 0, 8, 16)
+	migratePagewise(h, 100, 1, 2) // sparse chunk 100 (counter 2)
+	migratePagewise(h, 8, 8, 16)
+	h.SelectVictim(noneExcluded)
+	if h.Class() != HPERegular {
+		t.Skipf("classification = %v; fraction boundary", h.Class())
+	}
+	v, ok := h.SelectVictim(noneExcluded)
+	if !ok {
+		t.Fatal("no victim")
+	}
+	if v == 100 {
+		t.Fatal("MRU-C picked an unqualified (sparse) chunk")
+	}
+}
+
+func TestHPEIrregular2Switches(t *testing.T) {
+	h := NewHPE(HPEOptions{})
+	// Half full, half sparse -> irregular#2.
+	migratePagewise(h, 0, 10, 16)
+	migratePagewise(h, 100, 10, 2)
+	h.SelectVictim(noneExcluded)
+	if h.Class() != HPEIrregular2 {
+		t.Fatalf("class = %v, want irregular#2", h.Class())
+	}
+	start := h.Strategy()
+	// Trigger wrong evictions: evict chunks then fault on them within the
+	// same interval, twice (threshold).
+	h.OnEvicted(0, 0)
+	h.OnEvicted(1, 0)
+	h.OnFault(0)
+	h.OnFault(1)
+	migratePagewise(h, 200, 4, 16) // close the interval
+	if h.Strategy() == start {
+		t.Fatal("irregular#2 did not switch after wrong evictions")
+	}
+	if h.Stats().StrategySwitches != 1 {
+		t.Fatalf("switches = %d", h.Stats().StrategySwitches)
+	}
+}
+
+func TestHPERegularSearchStartAdvances(t *testing.T) {
+	h := NewHPE(HPEOptions{})
+	migratePagewise(h, 0, 20, 16)
+	h.SelectVictim(noneExcluded)
+	if h.searchStart != 0 {
+		t.Fatalf("initial search start = %d", h.searchStart)
+	}
+	h.OnEvicted(0, 0)
+	h.OnFault(0) // wrong eviction
+	migratePagewise(h, 300, 4, 16)
+	if h.searchStart != 1 {
+		t.Fatalf("search start = %d, want 1", h.searchStart)
+	}
+}
+
+func TestHPEEvictedLeavesChain(t *testing.T) {
+	h := NewHPE(HPEOptions{})
+	migratePagewise(h, 0, 4, 16)
+	h.OnEvicted(1, 0)
+	if h.ChainLen() != 3 {
+		t.Fatalf("chain len = %d", h.ChainLen())
+	}
+	if h.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", h.Stats().Evictions)
+	}
+}
+
+func TestHPEEmptySelect(t *testing.T) {
+	h := NewHPE(HPEOptions{})
+	if _, ok := h.SelectVictim(noneExcluded); ok {
+		t.Fatal("victim from empty chain")
+	}
+}
+
+func TestHPEClassString(t *testing.T) {
+	for c, want := range map[HPEClass]string{
+		HPEUnclassified: "unclassified",
+		HPERegular:      "regular",
+		HPEIrregular1:   "irregular#1",
+		HPEIrregular2:   "irregular#2",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyLRU.String() != "LRU" || StrategyMRU.String() != "MRU" {
+		t.Fatal("strategy strings")
+	}
+}

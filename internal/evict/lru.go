@@ -1,0 +1,52 @@
+package evict
+
+import "github.com/reproductions/cppe/internal/memdef"
+
+// LRU is the state-of-the-art software baseline's eviction policy [16]: a
+// chunk chain ordered by driver-visible recency (migrations and far faults —
+// the driver cannot observe GPU-side loads and stores), evicting from the LRU
+// end. Combined with the locality prefetcher it forms the paper's baseline.
+type LRU struct {
+	chain *Chain
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU { return &LRU{chain: NewChain()} }
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "lru" }
+
+// OnFault refreshes the chunk's recency: a fault on a partially resident
+// chunk is a driver-visible reference.
+func (l *LRU) OnFault(c memdef.ChunkID) {
+	if e := l.chain.Get(c); e != nil {
+		l.chain.MoveToTail(e)
+	}
+}
+
+// OnMigrate inserts the chunk at the MRU end (or refreshes it).
+func (l *LRU) OnMigrate(c memdef.ChunkID, pages memdef.PageBitmap) {
+	if e := l.chain.Get(c); e != nil {
+		l.chain.MoveToTail(e)
+		return
+	}
+	l.chain.PushTail(c)
+}
+
+// OnTouch is ignored: GPU-side touches are invisible to the driver's LRU.
+func (l *LRU) OnTouch(c memdef.ChunkID, pageIdx int) {}
+
+// SelectVictim returns the LRU-most non-excluded chunk.
+func (l *LRU) SelectVictim(excluded func(memdef.ChunkID) bool) (memdef.ChunkID, bool) {
+	return selectFromHead(l.chain, excluded)
+}
+
+// OnEvicted removes the chunk from the chain.
+func (l *LRU) OnEvicted(c memdef.ChunkID, untouch int) {
+	if e := l.chain.Get(c); e != nil {
+		l.chain.Remove(e)
+	}
+}
+
+// ChainLen exposes the chain length (overhead analysis, tests).
+func (l *LRU) ChainLen() int { return l.chain.Len() }

@@ -1,0 +1,137 @@
+package evict
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+func noneExcluded(memdef.ChunkID) bool { return false }
+
+func TestLRUEvictsOldestMigration(t *testing.T) {
+	l := NewLRU()
+	for i := memdef.ChunkID(0); i < 4; i++ {
+		l.OnMigrate(i, memdef.FullBitmap)
+	}
+	v, ok := l.SelectVictim(noneExcluded)
+	if !ok || v != 0 {
+		t.Fatalf("victim = %v, %v; want 0", v, ok)
+	}
+}
+
+func TestLRUFaultRefreshesRecency(t *testing.T) {
+	l := NewLRU()
+	for i := memdef.ChunkID(0); i < 4; i++ {
+		l.OnMigrate(i, memdef.FullBitmap)
+	}
+	l.OnFault(0) // chunk 0 referenced again (partial-chunk fault)
+	v, _ := l.SelectVictim(noneExcluded)
+	if v != 1 {
+		t.Fatalf("victim = %v, want 1 after fault refreshed 0", v)
+	}
+}
+
+func TestLRUTouchesInvisible(t *testing.T) {
+	l := NewLRU()
+	for i := memdef.ChunkID(0); i < 4; i++ {
+		l.OnMigrate(i, memdef.FullBitmap)
+	}
+	// GPU-side touches must not affect the driver's LRU.
+	for i := 0; i < 16; i++ {
+		l.OnTouch(0, i)
+	}
+	v, _ := l.SelectVictim(noneExcluded)
+	if v != 0 {
+		t.Fatalf("victim = %v; touches leaked into driver LRU", v)
+	}
+}
+
+func TestLRUExclusionSkips(t *testing.T) {
+	l := NewLRU()
+	for i := memdef.ChunkID(0); i < 3; i++ {
+		l.OnMigrate(i, memdef.FullBitmap)
+	}
+	v, ok := l.SelectVictim(func(c memdef.ChunkID) bool { return c == 0 })
+	if !ok || v != 1 {
+		t.Fatalf("victim = %v, %v; want 1", v, ok)
+	}
+	_, ok = l.SelectVictim(func(memdef.ChunkID) bool { return true })
+	if ok {
+		t.Fatal("victim found though all excluded")
+	}
+}
+
+func TestLRUEvictedRemoved(t *testing.T) {
+	l := NewLRU()
+	l.OnMigrate(0, memdef.FullBitmap)
+	l.OnMigrate(1, memdef.FullBitmap)
+	l.OnEvicted(0, 0)
+	if l.ChainLen() != 1 {
+		t.Fatalf("chain len = %d", l.ChainLen())
+	}
+	v, _ := l.SelectVictim(noneExcluded)
+	if v != 1 {
+		t.Fatalf("victim = %v", v)
+	}
+	// Evicting an unknown chunk is harmless (idempotent driver races).
+	l.OnEvicted(99, 0)
+}
+
+func TestLRURemigrationMovesToMRU(t *testing.T) {
+	l := NewLRU()
+	for i := memdef.ChunkID(0); i < 3; i++ {
+		l.OnMigrate(i, memdef.FullBitmap)
+	}
+	l.OnMigrate(0, memdef.PageBitmap(1)) // extra page of chunk 0 arrives
+	v, _ := l.SelectVictim(noneExcluded)
+	if v != 1 {
+		t.Fatalf("victim = %v, want 1", v)
+	}
+}
+
+func TestLRUEmpty(t *testing.T) {
+	l := NewLRU()
+	if _, ok := l.SelectVictim(noneExcluded); ok {
+		t.Fatal("victim from empty chain")
+	}
+	if l.Name() != "lru" {
+		t.Fatal("name")
+	}
+}
+
+func TestLRUCyclicThrashPattern(t *testing.T) {
+	// The pathological case: cyclic access over capacity+1 chunks evicts
+	// exactly the chunk needed next, every time.
+	l := NewLRU()
+	const capacity = 4
+	resident := map[memdef.ChunkID]bool{}
+	evictions := 0
+	for i := 0; i < capacity; i++ {
+		l.OnMigrate(memdef.ChunkID(i), memdef.FullBitmap)
+		resident[memdef.ChunkID(i)] = true
+	}
+	// Cycle through 5 chunks for 3 rounds.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 5; i++ {
+			c := memdef.ChunkID(i)
+			if resident[c] {
+				l.OnFault(c)
+				continue
+			}
+			v, ok := l.SelectVictim(noneExcluded)
+			if !ok {
+				t.Fatal("no victim")
+			}
+			l.OnEvicted(v, 0)
+			delete(resident, v)
+			evictions++
+			l.OnMigrate(c, memdef.FullBitmap)
+			resident[c] = true
+		}
+	}
+	// After warmup, every distinct access in the cycle misses: the first
+	// round misses once (chunk 4), later rounds miss on every access.
+	if evictions < 10 {
+		t.Fatalf("evictions = %d; LRU should thrash on cyclic pattern", evictions)
+	}
+}

@@ -1,0 +1,385 @@
+package evict
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// migrateChunks migrates n full chunks with ids start..start+n-1.
+func migrateChunks(p Policy, start, n int) {
+	for i := 0; i < n; i++ {
+		p.OnMigrate(memdef.ChunkID(start+i), memdef.FullBitmap)
+	}
+}
+
+func TestMHPEDefaults(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	if m.opt.T1 != 32 || m.opt.T2 != 40 || m.opt.T3 != 32 || m.opt.IntervalPages != 64 {
+		t.Fatalf("defaults = %+v", m.opt)
+	}
+	if m.Strategy() != StrategyMRU {
+		t.Fatal("MHPE must start with MRU")
+	}
+	if m.Name() != "mhpe" {
+		t.Fatal("name")
+	}
+}
+
+func TestMHPEInitialForwardDistanceClamped(t *testing.T) {
+	cases := []struct {
+		chunks int
+		want   int
+	}{
+		{12, 2},   // 12/100 = 0 -> clamp to 2
+		{520, 5},  // 520/100 = 5, in range
+		{1000, 8}, // 1000/100 = 10 -> clamp to 8
+	}
+	for _, c := range cases {
+		m := NewMHPE(MHPEOptions{})
+		migrateChunks(m, 0, c.chunks)
+		m.SelectVictim(noneExcluded) // triggers memory-full initialization
+		if m.ForwardDistance() != c.want {
+			t.Errorf("chain %d: forward = %d, want %d", c.chunks, m.ForwardDistance(), c.want)
+		}
+		if got := m.Stats().ChainLenAtFull; got != c.chunks {
+			t.Errorf("ChainLenAtFull = %d", got)
+		}
+	}
+}
+
+func TestMHPEInitialForwardOverride(t *testing.T) {
+	m := NewMHPE(MHPEOptions{InitialForwardDistance: 6})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	if m.ForwardDistance() != 6 {
+		t.Fatalf("forward = %d, want 6", m.ForwardDistance())
+	}
+}
+
+func TestMHPEBufferCapacity(t *testing.T) {
+	cases := []struct {
+		chunks, want int
+	}{
+		{12, 8},   // 12/64*8 = 0 -> min 8
+		{128, 16}, // 128/64*8 = 16
+		{520, 64}, // 520/64*8 = 64
+	}
+	for _, c := range cases {
+		m := NewMHPE(MHPEOptions{})
+		migrateChunks(m, 0, c.chunks)
+		m.SelectVictim(noneExcluded)
+		if got := m.Stats().BufferCap; got != c.want {
+			t.Errorf("chain %d: buffer cap = %d, want %d", c.chunks, got, c.want)
+		}
+	}
+}
+
+func TestMHPEMRUSelectionSkipsForwardDistance(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	// 12 full-chunk migrations = 3 intervals: chunks 0-3 in interval 0,
+	// 4-7 in interval 1, 8-11 in interval 2; now interval = 3.
+	migrateChunks(m, 0, 12)
+	// Old partition: inserted <= 1 -> chunks 0..7. MRU of old = 7.
+	// forward = 2 -> skip 7, 6 -> victim 5.
+	v, ok := m.SelectVictim(noneExcluded)
+	if !ok || v != 5 {
+		t.Fatalf("victim = %v, %v; want 5", v, ok)
+	}
+}
+
+func TestMHPEMRUExclusionAdvances(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	v, ok := m.SelectVictim(func(c memdef.ChunkID) bool { return c == 5 })
+	if !ok || v != 4 {
+		t.Fatalf("victim = %v, %v; want 4", v, ok)
+	}
+}
+
+func TestMHPEMRUShortOldPartitionFallsToLRUMost(t *testing.T) {
+	m := NewMHPE(MHPEOptions{InitialForwardDistance: 100})
+	migrateChunks(m, 0, 12)
+	// forward (100) exceeds old-partition size (8): LRU-most old chunk = 0.
+	v, ok := m.SelectVictim(noneExcluded)
+	if !ok || v != 0 {
+		t.Fatalf("victim = %v, %v; want 0", v, ok)
+	}
+}
+
+func TestMHPEEmptyOldPartitionFallsBack(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	// 4 chunks = 1 interval: all chunks are in interval 0, current = 1, so
+	// nothing is old (old needs inserted <= -1). Fallback: LRU scan.
+	migrateChunks(m, 0, 4)
+	v, ok := m.SelectVictim(noneExcluded)
+	if !ok || v != 0 {
+		t.Fatalf("victim = %v, %v; want 0 via fallback", v, ok)
+	}
+}
+
+func TestMHPESwitchOnT1(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	// One interval with total untouch 32 (4 evictions x 8).
+	for i := 0; i < 4; i++ {
+		m.OnEvicted(memdef.ChunkID(i), 8)
+	}
+	migrateChunks(m, 100, 4) // close the interval
+	if m.Strategy() != StrategyLRU {
+		t.Fatal("U1 >= T1 did not switch to LRU")
+	}
+	if got := m.Stats().SwitchedAtInterval; got != 1 {
+		t.Fatalf("switched at interval %d, want 1", got)
+	}
+}
+
+func TestMHPENoSwitchBelowT1(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	for i := 0; i < 4; i++ {
+		m.OnEvicted(memdef.ChunkID(i), 7) // total 28 < 32
+	}
+	migrateChunks(m, 100, 4)
+	if m.Strategy() != StrategyMRU {
+		t.Fatal("switched below T1")
+	}
+}
+
+func TestMHPESwitchOnT2AtFourthInterval(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	// Four intervals, each with total untouch 10 (< T1), so U2 = 40 >= T2.
+	// OnEvicted tolerates chunks that never entered the chain; the untouch
+	// accounting still applies.
+	perEviction := []int{3, 3, 2, 2}
+	next := 100
+	for interval := 0; interval < 4; interval++ {
+		for i := 0; i < 4; i++ {
+			m.OnEvicted(memdef.ChunkID(next), perEviction[i])
+			next++
+		}
+		migrateChunks(m, next+1000, 4)
+		next += 4
+		if interval < 3 && m.Strategy() != StrategyMRU {
+			t.Fatalf("switched early at interval %d", interval+1)
+		}
+	}
+	if m.Strategy() != StrategyLRU {
+		t.Fatal("U2 >= T2 did not switch at the fourth interval")
+	}
+	if got := m.Stats().SwitchedAtInterval; got != 4 {
+		t.Fatalf("switched at %d, want 4", got)
+	}
+}
+
+func TestMHPENoT2SwitchWhenBelowThreshold(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	next := 100
+	for interval := 0; interval < 5; interval++ {
+		for i := 0; i < 4; i++ {
+			m.OnEvicted(memdef.ChunkID(next), 2) // 8 per interval; u2 = 32 < 40
+			next++
+		}
+		migrateChunks(m, next+1000, 4)
+		next += 4
+	}
+	if m.Strategy() != StrategyMRU {
+		t.Fatal("switched although U2 < T2 and U1 < T1")
+	}
+}
+
+func TestMHPELRUSelectionAfterSwitch(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	for i := 0; i < 4; i++ {
+		m.OnEvicted(memdef.ChunkID(100+i), 15)
+	}
+	migrateChunks(m, 200, 4)
+	if m.Strategy() != StrategyLRU {
+		t.Fatal("not switched")
+	}
+	v, ok := m.SelectVictim(noneExcluded)
+	if !ok || v != 0 {
+		t.Fatalf("LRU victim = %v, %v; want 0", v, ok)
+	}
+}
+
+func TestMHPEDisableSwitchProbeMode(t *testing.T) {
+	m := NewMHPE(MHPEOptions{DisableSwitch: true})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	for i := 0; i < 4; i++ {
+		m.OnEvicted(memdef.ChunkID(100+i), 15) // 60 >> T1
+	}
+	migrateChunks(m, 200, 4)
+	if m.Strategy() != StrategyMRU {
+		t.Fatal("probe mode switched strategies")
+	}
+	// Untouch levels must still be recorded for Tables III/IV.
+	iu := m.Stats().IntervalUntouch
+	if len(iu) == 0 || iu[0] != 60 {
+		t.Fatalf("IntervalUntouch = %v, want [60 ...]", iu)
+	}
+}
+
+func TestMHPEForwardDistanceAdjustment(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	base := m.ForwardDistance() // 2
+	// Interval with u1 = 8 -> bucket 1, w = 0 -> forward += 1.
+	for i := 0; i < 4; i++ {
+		m.OnEvicted(memdef.ChunkID(100+i), 2)
+	}
+	migrateChunks(m, 200, 4)
+	if m.ForwardDistance() != base+1 {
+		t.Fatalf("forward = %d, want %d", m.ForwardDistance(), base+1)
+	}
+}
+
+func TestMHPEForwardDistanceUsesMaxOfUntouchAndWrong(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 32)
+	m.SelectVictim(noneExcluded)
+	base := m.ForwardDistance()
+	// Evict chunks 0..3, then fault on three of them -> W = 3.
+	for i := 0; i < 4; i++ {
+		m.OnEvicted(memdef.ChunkID(i), 2) // u1 = 8 -> bucket 1
+	}
+	m.OnFault(0)
+	m.OnFault(1)
+	m.OnFault(2)
+	migrateChunks(m, 200, 4)
+	// max(bucket(8)=1, W=3) = 3.
+	if m.ForwardDistance() != base+3 {
+		t.Fatalf("forward = %d, want %d", m.ForwardDistance(), base+3)
+	}
+	if m.Stats().WrongEvictions != 3 {
+		t.Fatalf("wrong evictions = %d", m.Stats().WrongEvictions)
+	}
+}
+
+func TestMHPEForwardDistanceLimitT3(t *testing.T) {
+	m := NewMHPE(MHPEOptions{T3: 4, InitialForwardDistance: 5})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	// forward (5) > T3 (4): no further increase.
+	for i := 0; i < 4; i++ {
+		m.OnEvicted(memdef.ChunkID(100+i), 7)
+	}
+	migrateChunks(m, 200, 4)
+	if m.ForwardDistance() != 5 {
+		t.Fatalf("forward = %d, want 5 (capped)", m.ForwardDistance())
+	}
+}
+
+func TestMHPEWrongEvictionReinsertedAtHead(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	m.OnEvicted(5, 0) // chunk 5 evicted, enters wrong-eviction buffer
+	m.OnFault(5)      // faulted right back: wrong eviction
+	m.OnMigrate(5, memdef.FullBitmap)
+	if m.chain.Head().Chunk != 5 {
+		t.Fatalf("head = %v, want 5 (wrong eviction pinned at LRU position)", m.chain.Head().Chunk)
+	}
+}
+
+func TestMHPEWrongEvictionCountedOnce(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	m.OnEvicted(5, 0)
+	m.OnFault(5)
+	m.OnFault(5) // second fault on the same evicted chunk: not counted again
+	if m.Stats().WrongEvictions != 1 {
+		t.Fatalf("wrong evictions = %d, want 1", m.Stats().WrongEvictions)
+	}
+}
+
+func TestMHPEBufferEvictsOldestTag(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12) // buffer cap = 8
+	m.SelectVictim(noneExcluded)
+	for i := 0; i < 9; i++ {
+		m.OnEvicted(memdef.ChunkID(100+i), 0)
+	}
+	// Chunk 100 has been pushed out of the 8-entry buffer.
+	m.OnFault(100)
+	if m.Stats().WrongEvictions != 0 {
+		t.Fatal("stale buffer entry still detected")
+	}
+	m.OnFault(108)
+	if m.Stats().WrongEvictions != 1 {
+		t.Fatal("recent eviction not detected")
+	}
+}
+
+func TestMHPENeverSwitchesBack(t *testing.T) {
+	m := NewMHPE(MHPEOptions{})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	for i := 0; i < 4; i++ {
+		m.OnEvicted(memdef.ChunkID(100+i), 15)
+	}
+	migrateChunks(m, 200, 4)
+	if m.Strategy() != StrategyLRU {
+		t.Fatal("not switched")
+	}
+	// Many quiet intervals with zero untouch: must stay LRU.
+	for k := 0; k < 10; k++ {
+		migrateChunks(m, 300+k*4, 4)
+	}
+	if m.Strategy() != StrategyLRU {
+		t.Fatal("switched back to MRU")
+	}
+}
+
+func TestMHPEUntouchBucketRanges(t *testing.T) {
+	m := NewMHPE(MHPEOptions{}) // T1 = 32
+	cases := []struct{ u, want int }{
+		{0, 0}, {3, 0},
+		{4, 1}, {10, 1},
+		{11, 2}, {17, 2},
+		{18, 3}, {24, 3},
+		{25, 4}, {31, 4},
+	}
+	for _, c := range cases {
+		if got := m.untouchBucket(c.u); got != c.want {
+			t.Errorf("bucket(%d) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+func TestMHPEIntervalUntouchSeries(t *testing.T) {
+	m := NewMHPE(MHPEOptions{DisableSwitch: true})
+	migrateChunks(m, 0, 12)
+	m.SelectVictim(noneExcluded)
+	next := 100
+	wants := []int{12, 4, 60, 0}
+	for _, u := range wants {
+		per := u / 4
+		for i := 0; i < 4; i++ {
+			m.OnEvicted(memdef.ChunkID(next), per)
+			next++
+		}
+		migrateChunks(m, next+1000, 4)
+		next += 4
+	}
+	got := m.Stats().IntervalUntouch
+	if len(got) != 4 {
+		t.Fatalf("intervals recorded = %d", len(got))
+	}
+	for i := range wants {
+		if got[i] != wants[i] {
+			t.Fatalf("IntervalUntouch = %v, want %v", got, wants)
+		}
+	}
+}

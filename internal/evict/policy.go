@@ -1,0 +1,69 @@
+package evict
+
+import "github.com/reproductions/cppe/internal/memdef"
+
+// Policy is the driver's eviction policy. The UVM manager (package uvm)
+// invokes it with driver-visible events and asks it for victims when GPU
+// memory is full.
+//
+// Event contract, in the order the manager guarantees:
+//
+//   - OnFault(c) fires when a far fault targets a page of chunk c, before any
+//     migration planning for that fault.
+//   - OnMigrate(c, pages) fires when pages of chunk c become resident
+//     (possibly adding to an already partially resident chunk).
+//   - OnTouch(c, idx) fires on the first GPU access of each resident page.
+//   - SelectVictim is called when frames are needed; the policy must return a
+//     chunk for which excluded() is false.
+//   - OnEvicted(c, untouch) fires when chunk c is actually evicted; untouch
+//     is the number of migrated-but-never-touched pages it had (0..16).
+type Policy interface {
+	// Name returns a short identifier ("lru", "mhpe", ...).
+	Name() string
+	OnFault(c memdef.ChunkID)
+	OnMigrate(c memdef.ChunkID, pages memdef.PageBitmap)
+	OnTouch(c memdef.ChunkID, pageIdx int)
+	SelectVictim(excluded func(memdef.ChunkID) bool) (memdef.ChunkID, bool)
+	OnEvicted(c memdef.ChunkID, untouch int)
+}
+
+// Strategy identifies the search direction used within the chunk chain.
+type Strategy int
+
+const (
+	// StrategyLRU selects from the LRU (head) end.
+	StrategyLRU Strategy = iota
+	// StrategyMRU selects from the MRU (tail) end of the old partition.
+	StrategyMRU
+)
+
+func (s Strategy) String() string {
+	if s == StrategyMRU {
+		return "MRU"
+	}
+	return "LRU"
+}
+
+// invalidChunk is a sentinel for empty wrong-eviction-buffer slots; it can
+// never collide with a real chunk because a real ChunkID fits in
+// VABits-PageShift-ChunkShift = 32 bits.
+const invalidChunk = ^memdef.ChunkID(0)
+
+// selectFromHead returns the first non-excluded entry scanning LRU -> MRU.
+func selectFromHead(ch *Chain, excluded func(memdef.ChunkID) bool) (memdef.ChunkID, bool) {
+	for e := ch.Head(); e != nil; e = ch.Next(e) {
+		if !excluded(e.Chunk) {
+			return e.Chunk, true
+		}
+	}
+	return 0, false
+}
+
+// newBufRing allocates a wrong-eviction ring with all slots empty.
+func newBufRing(n int) []memdef.ChunkID {
+	buf := make([]memdef.ChunkID, n)
+	for i := range buf {
+		buf[i] = invalidChunk
+	}
+	return buf
+}

@@ -1,0 +1,103 @@
+package evict
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+func TestRandomSelectsOnlyResident(t *testing.T) {
+	r := NewRandom(1)
+	for i := memdef.ChunkID(0); i < 10; i++ {
+		r.OnMigrate(i, memdef.FullBitmap)
+	}
+	seen := map[memdef.ChunkID]bool{}
+	for i := 0; i < 200; i++ {
+		v, ok := r.SelectVictim(noneExcluded)
+		if !ok {
+			t.Fatal("no victim")
+		}
+		if v >= 10 {
+			t.Fatalf("victim %v not resident", v)
+		}
+		seen[v] = true
+	}
+	// With 200 draws over 10 chunks, all should appear.
+	if len(seen) != 10 {
+		t.Fatalf("only %d distinct victims in 200 draws", len(seen))
+	}
+}
+
+func TestRandomDeterministicForSeed(t *testing.T) {
+	draw := func(seed int64) []memdef.ChunkID {
+		r := NewRandom(seed)
+		for i := memdef.ChunkID(0); i < 50; i++ {
+			r.OnMigrate(i, memdef.FullBitmap)
+		}
+		var vs []memdef.ChunkID
+		for i := 0; i < 20; i++ {
+			v, _ := r.SelectVictim(noneExcluded)
+			vs = append(vs, v)
+		}
+		return vs
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandomRespectsExclusion(t *testing.T) {
+	r := NewRandom(2)
+	for i := memdef.ChunkID(0); i < 4; i++ {
+		r.OnMigrate(i, memdef.FullBitmap)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := r.SelectVictim(func(c memdef.ChunkID) bool { return c != 3 })
+		if !ok || v != 3 {
+			t.Fatalf("victim = %v, %v; only 3 allowed", v, ok)
+		}
+	}
+	if _, ok := r.SelectVictim(func(memdef.ChunkID) bool { return true }); ok {
+		t.Fatal("victim though all excluded")
+	}
+}
+
+func TestRandomEvictedRemoved(t *testing.T) {
+	r := NewRandom(3)
+	for i := memdef.ChunkID(0); i < 5; i++ {
+		r.OnMigrate(i, memdef.FullBitmap)
+	}
+	r.OnEvicted(2, 0)
+	if r.ChainLen() != 4 {
+		t.Fatalf("len = %d", r.ChainLen())
+	}
+	for i := 0; i < 100; i++ {
+		if v, _ := r.SelectVictim(noneExcluded); v == 2 {
+			t.Fatal("evicted chunk selected")
+		}
+	}
+	// Double eviction is a no-op.
+	r.OnEvicted(2, 0)
+	if r.ChainLen() != 4 {
+		t.Fatal("double eviction corrupted state")
+	}
+}
+
+func TestRandomDuplicateMigrateIgnored(t *testing.T) {
+	r := NewRandom(4)
+	r.OnMigrate(1, memdef.FullBitmap)
+	r.OnMigrate(1, memdef.PageBitmap(3))
+	if r.ChainLen() != 1 {
+		t.Fatalf("len = %d after duplicate migrate", r.ChainLen())
+	}
+}
+
+func TestRandomEmpty(t *testing.T) {
+	r := NewRandom(5)
+	if _, ok := r.SelectVictim(noneExcluded); ok {
+		t.Fatal("victim from empty set")
+	}
+}

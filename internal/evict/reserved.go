@@ -1,0 +1,94 @@
+package evict
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// ReservedLRU is D. Ganguly et al.'s reserved LRU [16]: the top (MRU-side)
+// fraction of the LRU chunk chain is never selected for eviction; the victim
+// is the first chunk below the reserved boundary, i.e. the MRU-most chunk
+// among the non-reserved ones.
+//
+// Reserving the hottest p% keeps just-prefetched chunks safe and — because the
+// candidate sits p% away from the MRU end — breaks the pathological
+// evict-what-is-needed-next cycle of strict LRU on thrashing patterns, which
+// is exactly the limited relief (and the harm to region-moving, LRU-friendly
+// applications) that Fig. 3 and Fig. 9 of the paper show.
+type ReservedLRU struct {
+	chain    *Chain
+	fraction float64
+}
+
+// NewReservedLRU returns reserved LRU with the given reserved fraction
+// (e.g. 0.10 for LRU-10%). Fractions outside (0, 1) panic.
+func NewReservedLRU(fraction float64) *ReservedLRU {
+	if fraction <= 0 || fraction >= 1 {
+		panic(fmt.Sprintf("evict: reserved fraction %v out of (0,1)", fraction))
+	}
+	return &ReservedLRU{chain: NewChain(), fraction: fraction}
+}
+
+// Name implements Policy.
+func (r *ReservedLRU) Name() string {
+	return fmt.Sprintf("lru-%d%%", int(math.Round(r.fraction*100)))
+}
+
+// OnFault refreshes recency, as in plain LRU.
+func (r *ReservedLRU) OnFault(c memdef.ChunkID) {
+	if e := r.chain.Get(c); e != nil {
+		r.chain.MoveToTail(e)
+	}
+}
+
+// OnMigrate inserts at the MRU end.
+func (r *ReservedLRU) OnMigrate(c memdef.ChunkID, pages memdef.PageBitmap) {
+	if e := r.chain.Get(c); e != nil {
+		r.chain.MoveToTail(e)
+		return
+	}
+	r.chain.PushTail(c)
+}
+
+// OnTouch is ignored (driver-invisible).
+func (r *ReservedLRU) OnTouch(c memdef.ChunkID, pageIdx int) {}
+
+// SelectVictim returns the MRU-most non-excluded chunk outside the reserved
+// top fraction, falling back toward the LRU end. If every candidate below the
+// boundary is excluded it retreats into the reserved region rather than fail.
+func (r *ReservedLRU) SelectVictim(excluded func(memdef.ChunkID) bool) (memdef.ChunkID, bool) {
+	n := r.chain.Len()
+	if n == 0 {
+		return 0, false
+	}
+	reserved := int(math.Ceil(r.fraction * float64(n)))
+	if reserved >= n {
+		reserved = n - 1
+	}
+	// First candidate: just below the reserved boundary, scanning toward LRU.
+	for e := r.chain.FromTail(reserved); e != nil; e = r.chain.Prev(e) {
+		if !excluded(e.Chunk) {
+			return e.Chunk, true
+		}
+	}
+	// All non-reserved chunks excluded: scan the reserved region MRU->LRU so
+	// the system can still make progress.
+	for e := r.chain.Tail(); e != nil; e = r.chain.Prev(e) {
+		if !excluded(e.Chunk) {
+			return e.Chunk, true
+		}
+	}
+	return 0, false
+}
+
+// OnEvicted removes the chunk.
+func (r *ReservedLRU) OnEvicted(c memdef.ChunkID, untouch int) {
+	if e := r.chain.Get(c); e != nil {
+		r.chain.Remove(e)
+	}
+}
+
+// ChainLen exposes the chain length.
+func (r *ReservedLRU) ChainLen() int { return r.chain.Len() }

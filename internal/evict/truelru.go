@@ -1,0 +1,60 @@
+package evict
+
+import "github.com/reproductions/cppe/internal/memdef"
+
+// TrueLRU is an oracle ablation, not a deployable policy: LRU over *actual
+// GPU-side touch recency*. A real UVM driver cannot see device-side loads and
+// stores without shipping reference information over the interconnect (the
+// overhead Section III's Inefficiency 1 discussion calls out for HPE [15]),
+// so the deployable baseline orders chunks by driver-visible events only.
+// Comparing TrueLRU against that baseline quantifies exactly how much
+// performance the driver's limited visibility costs — and how much of it
+// MHPE recovers without any extra GPU-to-host traffic.
+type TrueLRU struct {
+	chain *Chain
+}
+
+// NewTrueLRU returns the oracle policy.
+func NewTrueLRU() *TrueLRU { return &TrueLRU{chain: NewChain()} }
+
+// Name implements Policy.
+func (l *TrueLRU) Name() string { return "true-lru" }
+
+// OnFault refreshes recency (a fault is also a reference).
+func (l *TrueLRU) OnFault(c memdef.ChunkID) {
+	if e := l.chain.Get(c); e != nil {
+		l.chain.MoveToTail(e)
+	}
+}
+
+// OnMigrate inserts or refreshes the chunk.
+func (l *TrueLRU) OnMigrate(c memdef.ChunkID, pages memdef.PageBitmap) {
+	if e := l.chain.Get(c); e != nil {
+		l.chain.MoveToTail(e)
+		return
+	}
+	l.chain.PushTail(c)
+}
+
+// OnTouch is where the oracle cheats: every first touch of a page refreshes
+// its chunk's recency, information a real driver does not have.
+func (l *TrueLRU) OnTouch(c memdef.ChunkID, pageIdx int) {
+	if e := l.chain.Get(c); e != nil {
+		l.chain.MoveToTail(e)
+	}
+}
+
+// SelectVictim evicts the least-recently-*touched* chunk.
+func (l *TrueLRU) SelectVictim(excluded func(memdef.ChunkID) bool) (memdef.ChunkID, bool) {
+	return selectFromHead(l.chain, excluded)
+}
+
+// OnEvicted removes the chunk.
+func (l *TrueLRU) OnEvicted(c memdef.ChunkID, untouch int) {
+	if e := l.chain.Get(c); e != nil {
+		l.chain.Remove(e)
+	}
+}
+
+// ChainLen exposes the chain length.
+func (l *TrueLRU) ChainLen() int { return l.chain.Len() }

@@ -1,0 +1,95 @@
+package evict
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+func TestTrueLRUTouchRefreshesRecency(t *testing.T) {
+	l := NewTrueLRU()
+	for i := memdef.ChunkID(0); i < 4; i++ {
+		l.OnMigrate(i, memdef.FullBitmap)
+	}
+	// Touch chunk 0: unlike the driver-visible LRU, this must protect it.
+	l.OnTouch(0, 3)
+	v, ok := l.SelectVictim(noneExcluded)
+	if !ok || v != 1 {
+		t.Fatalf("victim = %v, %v; want 1 (0 was touched)", v, ok)
+	}
+}
+
+func TestTrueLRUDiffersFromDriverLRU(t *testing.T) {
+	// The defining contrast: the same event sequence where only the oracle
+	// protects a touched chunk.
+	events := func(p Policy) memdef.ChunkID {
+		for i := memdef.ChunkID(0); i < 3; i++ {
+			p.OnMigrate(i, memdef.FullBitmap)
+		}
+		p.OnTouch(0, 0) // GPU-side touch: invisible to driver LRU
+		v, _ := p.SelectVictim(noneExcluded)
+		return v
+	}
+	if v := events(NewLRU()); v != 0 {
+		t.Fatalf("driver LRU victim = %v, want 0", v)
+	}
+	if v := events(NewTrueLRU()); v != 1 {
+		t.Fatalf("oracle LRU victim = %v, want 1", v)
+	}
+}
+
+func TestTrueLRUFaultAndMigrateRefresh(t *testing.T) {
+	l := NewTrueLRU()
+	l.OnMigrate(0, memdef.FullBitmap)
+	l.OnMigrate(1, memdef.FullBitmap)
+	l.OnFault(0)
+	v, _ := l.SelectVictim(noneExcluded)
+	if v != 1 {
+		t.Fatalf("victim = %v after fault refresh", v)
+	}
+	l.OnMigrate(1, memdef.PageBitmap(1)) // refresh via migration
+	v, _ = l.SelectVictim(noneExcluded)
+	if v != 0 {
+		t.Fatalf("victim = %v after migrate refresh", v)
+	}
+}
+
+func TestTrueLRUEvictedAndUnknownTouch(t *testing.T) {
+	l := NewTrueLRU()
+	l.OnMigrate(0, memdef.FullBitmap)
+	l.OnEvicted(0, 5)
+	if l.ChainLen() != 0 {
+		t.Fatalf("chain len = %d", l.ChainLen())
+	}
+	// Events on unknown chunks must be harmless.
+	l.OnTouch(99, 0)
+	l.OnFault(99)
+	l.OnEvicted(99, 0)
+	if _, ok := l.SelectVictim(noneExcluded); ok {
+		t.Fatal("victim from empty chain")
+	}
+	if l.Name() != "true-lru" {
+		t.Fatal("name")
+	}
+}
+
+func TestMHPEFixedBufferCap(t *testing.T) {
+	m := NewMHPE(MHPEOptions{FixedBufferCap: 3})
+	migrateChunks(m, 0, 512) // scaled rule would give 64
+	m.SelectVictim(noneExcluded)
+	if got := m.Stats().BufferCap; got != 3 {
+		t.Fatalf("buffer cap = %d, want 3", got)
+	}
+	// Only the last 3 evictions are remembered.
+	for i := 0; i < 4; i++ {
+		m.OnEvicted(memdef.ChunkID(i), 0)
+	}
+	m.OnFault(0) // aged out of the 3-entry buffer
+	if m.Stats().WrongEvictions != 0 {
+		t.Fatal("aged-out entry still detected")
+	}
+	m.OnFault(3)
+	if m.Stats().WrongEvictions != 1 {
+		t.Fatal("recent entry not detected")
+	}
+}

@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/uvm"
+)
+
+// Describe renders one simulation's full instrumentation as a multi-section
+// text report: execution summary, translation breakdown, migration/eviction
+// traffic, and (when present) the MHPE trajectory and pattern-buffer
+// statistics.
+func (s *Session) Describe(k Key) string {
+	r := s.Run(k)
+	var b strings.Builder
+	w := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+
+	coreGHz := float64(s.cfg.Base.CoreClockHz) / 1e9
+
+	w("=== %s ===", k)
+	w("execution")
+	w("  cycles            %d (%.2f ms at %.1f GHz)", r.Cycles, float64(r.Cycles)/coreGHz/1e6, coreGHz)
+	w("  accesses          %d", r.Accesses)
+	w("  crashed           %v", r.Crashed)
+	w("memory geometry")
+	w("  footprint         %d pages (%d chunks)", r.FootprintPages, r.FootprintPages/memdef.ChunkPages)
+	w("  capacity          %d pages (%d%%)", r.CapacityPages, k.OversubPct)
+	w("  peak residency    %d pages", r.UVM.PeakResidentPages)
+
+	w("translation paths")
+	bd := r.UVM.Breakdown
+	for _, p := range []uvm.PathKind{uvm.PathL1Hit, uvm.PathL2Hit, uvm.PathWalk, uvm.PathFault} {
+		w("  %-8s %6.1f%%  avg %8.0f cycles  (%d)", p, 100*bd.Share(p), bd.AvgLatency(p), bd.Count[p])
+	}
+
+	w("fault handling")
+	w("  fault events      %d (+%d merged)", r.UVM.FaultEvents, r.UVM.MergedFaults)
+	w("  walks             %d", r.UVM.Walks)
+	w("migration traffic")
+	w("  migrated          %d pages in %d transfers", r.UVM.MigratedPages, r.UVM.MigratedChunks)
+	w("  evicted           %d pages (%d chunks)", r.UVM.EvictedPages, r.UVM.EvictedChunks)
+	w("  dirty write-back  %d pages", r.UVM.DirtyPagesWrittenBack)
+
+	if m := r.MHPE; m != nil {
+		w("MHPE trajectory")
+		w("  final strategy    %v (switched at interval %d)", m.FinalStrategy, m.SwitchedAtInterval)
+		w("  forward distance  %d -> %d (%d adjustments)", m.InitialForward, m.FinalForward, m.ForwardAdjustments)
+		w("  wrong evictions   %d", m.WrongEvictions)
+		w("  chain at full     %d entries; wrong-evict buffer %d", m.ChainLenAtFull, m.BufferCap)
+		iu := m.IntervalUntouch
+		if len(iu) > 8 {
+			iu = iu[:8]
+		}
+		w("  untouch/interval  %v%s", iu, map[bool]string{true: " ...", false: ""}[len(m.IntervalUntouch) > 8])
+	}
+	if h := r.HPE; h != nil {
+		w("HPE trajectory")
+		w("  class             %v (qualified fraction %.2f)", h.Class, h.QualifiedFractionAtFull)
+		w("  final strategy    %v (%d switches)", h.FinalStrategy, h.StrategySwitches)
+		w("  wrong evictions   %d", h.WrongEvictions)
+	}
+	if p := r.Pattern; p != nil {
+		w("pattern buffer")
+		w("  recorded          %d (peak length %d)", p.Recorded, p.PeakLen)
+		w("  hits              %d (%d matches, %d mismatches, %d deletions)", p.Hits, p.Matches, p.Mismatches, p.Deletions)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden tests pin exact experiment outputs at a small scale. Every
+// simulation is deterministic, so any diff means the timing or policy model
+// changed — which must be a conscious decision, recorded by regenerating the
+// files with:
+//
+//	go test ./internal/harness -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Skipf("golden file missing (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\n(run `go test ./internal/harness -run TestGolden -update` if the model change is intentional)",
+			name, got, want)
+	}
+}
+
+func goldenSession() *Session {
+	return NewSession(Config{Scale: 0.05, Warps: 32, Parallelism: 4})
+}
+
+func TestGoldenFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	checkGolden(t, "fig3_scale005", goldenSession().Fig3().String())
+}
+
+func TestGoldenTableIII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	checkGolden(t, "table3_scale005", goldenSession().TableIII().String())
+}
+
+func TestGoldenSingleRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	checkGolden(t, "describe_nw_scale005", goldenSession().Describe(Key{"NW", "cppe", 50}))
+}

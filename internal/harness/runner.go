@@ -1,0 +1,315 @@
+// Package harness runs the paper's experiments: it instantiates (benchmark,
+// system setup, oversubscription rate) simulations, caches their results, and
+// regenerates every table and figure of the evaluation section as text
+// tables. Simulations are independent and deterministic, so the session fans
+// them out over a bounded worker pool.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/reproductions/cppe/internal/core"
+	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/prefetch"
+	"github.com/reproductions/cppe/internal/sm"
+	"github.com/reproductions/cppe/internal/trace"
+	"github.com/reproductions/cppe/internal/uvm"
+	"github.com/reproductions/cppe/internal/workload"
+)
+
+// Config parameterizes a session.
+type Config struct {
+	// Base is the system configuration (Table I). Zero -> DefaultConfig.
+	Base memdef.Config
+	// Scale is the workload footprint scale (default 0.1).
+	Scale float64
+	// Warps is the number of workload streams (default 64).
+	Warps int
+	// AccessesPerPage (default 2).
+	AccessesPerPage int
+	// Seed perturbs workload generation and the Random policy.
+	Seed int64
+	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
+	Parallelism int
+	// MaxEvents bounds one simulation's event count (default 500M).
+	MaxEvents uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Base.NumSMs == 0 {
+		c.Base = memdef.DefaultConfig()
+	}
+	if c.Scale == 0 {
+		c.Scale = 0.25
+	}
+	if c.Warps == 0 {
+		c.Warps = 64
+	}
+	if c.AccessesPerPage == 0 {
+		c.AccessesPerPage = 2
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 500_000_000
+	}
+	return c
+}
+
+// Key identifies one simulation.
+type Key struct {
+	Bench string
+	Setup string
+	// OversubPct is the percentage of the footprint that fits in GPU
+	// memory: 75 or 50 in the paper; 0 means unlimited memory.
+	OversubPct int
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s@%d%%", k.Bench, k.Setup, k.OversubPct)
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	Key            Key
+	Cycles         memdef.Cycle
+	Crashed        bool
+	Accesses       uint64
+	FootprintPages int
+	CapacityPages  int
+	UVM            uvm.Stats
+	// MHPE is non-nil when the setup used MHPE.
+	MHPE *evict.MHPEStats
+	// HPE is non-nil when the setup used HPE.
+	HPE *evict.HPEStats
+	// Pattern is non-nil when the setup used the pattern prefetcher.
+	Pattern *prefetch.PatternStats
+}
+
+// Session caches simulation results across experiments.
+type Session struct {
+	cfg    Config
+	setups map[string]core.Setup
+
+	mu    sync.Mutex
+	cache map[Key]Result
+}
+
+// NewSession returns a session with the standard setups registered.
+func NewSession(cfg Config) *Session {
+	s := &Session{
+		cfg:    cfg.withDefaults(),
+		setups: make(map[string]core.Setup),
+		cache:  make(map[Key]Result),
+	}
+	for _, su := range []core.Setup{
+		core.SetupBaseline, core.SetupCPPE, core.SetupCPPES1,
+		core.SetupRandom, core.SetupDisableOnFull, core.SetupHPE,
+		core.SetupTree,
+		core.SetupReservedLRU(0.10), core.SetupReservedLRU(0.20),
+		core.SetupMHPEProbe(),
+	} {
+		s.Register(su)
+	}
+	for t3 := 16; t3 <= 40; t3 += 4 {
+		s.Register(core.SetupCPPET3(t3))
+	}
+	s.Register(core.SetupTrueLRU)
+	for _, iv := range []int{32, 128} {
+		s.Register(core.SetupCPPEInterval(iv))
+	}
+	for _, bc := range []int{8, 128} {
+		s.Register(core.SetupCPPEBuffer(bc))
+	}
+	for _, fd := range []int{2, 8} {
+		s.Register(core.SetupCPPEFwd(fd))
+	}
+	return s
+}
+
+// Config returns the session configuration (with defaults applied).
+func (s *Session) Config() Config { return s.cfg }
+
+// Register adds (or replaces) a setup.
+func (s *Session) Register(su core.Setup) { s.setups[su.Name] = su }
+
+// Setup returns a registered setup.
+func (s *Session) Setup(name string) (core.Setup, bool) {
+	su, ok := s.setups[name]
+	return su, ok
+}
+
+// capacityFor derives the GPU memory capacity in pages for a footprint and
+// oversubscription percentage, chunk-aligned with a small floor.
+func capacityFor(footprintPages, pct int) int {
+	if pct <= 0 {
+		return 0
+	}
+	pages := footprintPages * pct / 100
+	rem := pages % memdef.ChunkPages
+	if rem != 0 {
+		pages -= rem
+	}
+	if min := 8 * memdef.ChunkPages; pages < min {
+		pages = min
+	}
+	return pages
+}
+
+// Run returns the (cached) result for one simulation.
+func (s *Session) Run(k Key) Result {
+	s.mu.Lock()
+	if r, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+	r := s.runOne(k)
+	s.mu.Lock()
+	s.cache[k] = r
+	s.mu.Unlock()
+	return r
+}
+
+// Warm runs all missing keys in parallel so later Run calls hit the cache.
+func (s *Session) Warm(keys []Key) {
+	var missing []Key
+	s.mu.Lock()
+	seen := map[Key]bool{}
+	for _, k := range keys {
+		if _, ok := s.cache[k]; !ok && !seen[k] {
+			missing = append(missing, k)
+			seen[k] = true
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) == 0 {
+		return
+	}
+	sem := make(chan struct{}, s.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for _, k := range missing {
+		k := k
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := s.runOne(k)
+			s.mu.Lock()
+			s.cache[k] = r
+			s.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// CachedRuns returns the number of cached simulations.
+func (s *Session) CachedRuns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// runOne executes one simulation (no caching).
+func (s *Session) runOne(k Key) Result {
+	bench, ok := workload.ByAbbr(k.Bench)
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown benchmark %q", k.Bench))
+	}
+	setup, ok := s.setups[k.Setup]
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown setup %q", k.Setup))
+	}
+	generated := bench.Generate(workload.Options{
+		Scale:           s.cfg.Scale,
+		Warps:           s.cfg.Warps,
+		AccessesPerPage: s.cfg.AccessesPerPage,
+		Seed:            s.cfg.Seed,
+	})
+	cfg := s.cfg.Base
+	cfg.MemoryPages = capacityFor(generated.FootprintPages, k.OversubPct)
+
+	policy := setup.NewPolicy(cfg, s.cfg.Seed^int64(len(k.Bench))^0x5eed)
+	pf := setup.NewPrefetcher(cfg)
+	machine := sm.NewMachine(cfg, policy, pf, generated.Warps)
+	machine.SetFootprint(generated.FootprintPages)
+	res := machine.Run(s.cfg.MaxEvents)
+
+	out := Result{
+		Key:            k,
+		Cycles:         res.Cycles,
+		Crashed:        res.Crashed,
+		Accesses:       res.Accesses,
+		FootprintPages: generated.FootprintPages,
+		CapacityPages:  cfg.MemoryPages,
+		UVM:            machine.MMU.Stats(),
+	}
+	if m, ok := policy.(*evict.MHPE); ok {
+		st := m.Stats()
+		out.MHPE = &st
+	}
+	if h, ok := policy.(*evict.HPE); ok {
+		st := h.Stats()
+		out.HPE = &st
+	}
+	if p, ok := pf.(*prefetch.Pattern); ok {
+		st := p.Stats()
+		out.Pattern = &st
+	}
+	return out
+}
+
+// RunTrace simulates a pre-recorded trace (instead of a generated Table II
+// workload) under the named setup at the given oversubscription rate. Trace
+// runs are not cached: the trace's identity is not part of a Key.
+func (s *Session) RunTrace(tr *trace.Trace, setupName string, oversubPct int) Result {
+	setup, ok := s.setups[setupName]
+	if !ok {
+		panic(fmt.Sprintf("harness: unknown setup %q", setupName))
+	}
+	cfg := s.cfg.Base
+	cfg.MemoryPages = capacityFor(tr.FootprintPages, oversubPct)
+
+	policy := setup.NewPolicy(cfg, s.cfg.Seed)
+	pf := setup.NewPrefetcher(cfg)
+	machine := sm.NewMachine(cfg, policy, pf, tr.Warps)
+	machine.SetFootprint(tr.FootprintPages)
+	res := machine.Run(s.cfg.MaxEvents)
+
+	out := Result{
+		Key:            Key{Bench: "trace", Setup: setupName, OversubPct: oversubPct},
+		Cycles:         res.Cycles,
+		Crashed:        res.Crashed,
+		Accesses:       res.Accesses,
+		FootprintPages: tr.FootprintPages,
+		CapacityPages:  cfg.MemoryPages,
+		UVM:            machine.MMU.Stats(),
+	}
+	if m, ok := policy.(*evict.MHPE); ok {
+		st := m.Stats()
+		out.MHPE = &st
+	}
+	if h, ok := policy.(*evict.HPE); ok {
+		st := h.Stats()
+		out.HPE = &st
+	}
+	if p, ok := pf.(*prefetch.Pattern); ok {
+		st := p.Stats()
+		out.Pattern = &st
+	}
+	return out
+}
+
+// Speedup returns cycles(reference)/cycles(candidate): > 1 means the
+// candidate is faster. Crashed runs yield 0 (reported as 'X').
+func Speedup(reference, candidate Result) float64 {
+	if candidate.Crashed || reference.Crashed || candidate.Cycles == 0 {
+		return 0
+	}
+	return float64(reference.Cycles) / float64(candidate.Cycles)
+}

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/workload"
+)
+
+func TestCapacityFor(t *testing.T) {
+	cases := []struct{ footprint, pct, want int }{
+		{3200, 50, 1600},
+		{3200, 75, 2400},
+		{3200, 0, 0},                     // unlimited
+		{3210, 50, 1600},                 // chunk-aligned down
+		{100, 50, 8 * memdef.ChunkPages}, // floor
+		{10000, 100, 10000},              // full footprint
+	}
+	for _, c := range cases {
+		if got := capacityFor(c.footprint, c.pct); got != c.want {
+			t.Errorf("capacityFor(%d, %d) = %d, want %d", c.footprint, c.pct, got, c.want)
+		}
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	k := Key{"SRD", "cppe", 50}
+	if k.String() != "SRD/cppe@50%" {
+		t.Fatalf("key = %q", k.String())
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 0.25 || c.Warps != 64 || c.AccessesPerPage != 2 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.Parallelism <= 0 || c.MaxEvents == 0 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.Base.NumSMs != 28 {
+		t.Fatalf("base config not defaulted: %+v", c.Base)
+	}
+}
+
+func TestUnknownBenchOrSetupPanics(t *testing.T) {
+	s := NewSession(Config{Scale: 0.05, Warps: 8})
+	for _, k := range []Key{{"NOPE", "cppe", 50}, {"SRD", "nope", 50}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %v", k)
+				}
+			}()
+			s.Run(k)
+		}()
+	}
+}
+
+func TestRunCachedAndDeterministic(t *testing.T) {
+	s := NewSession(Config{Scale: 0.05, Warps: 16})
+	k := Key{"STN", "baseline", 50}
+	a := s.Run(k)
+	if s.CachedRuns() != 1 {
+		t.Fatalf("cached = %d", s.CachedRuns())
+	}
+	b := s.Run(k)
+	if a.Cycles != b.Cycles {
+		t.Fatal("cache miss returned different result")
+	}
+	// A brand-new session must reproduce the same numbers.
+	s2 := NewSession(Config{Scale: 0.05, Warps: 16})
+	c := s2.Run(k)
+	if c.Cycles != a.Cycles || c.UVM.FaultEvents != a.UVM.FaultEvents {
+		t.Fatalf("cross-session nondeterminism: %d vs %d cycles", c.Cycles, a.Cycles)
+	}
+}
+
+func TestWarmMatchesRun(t *testing.T) {
+	keys := []Key{
+		{"STN", "baseline", 50},
+		{"STN", "cppe", 50},
+		{"MRQ", "baseline", 50},
+	}
+	par := NewSession(Config{Scale: 0.05, Warps: 16, Parallelism: 4})
+	par.Warm(append(keys, keys...)) // duplicates must be deduped
+	if par.CachedRuns() != len(keys) {
+		t.Fatalf("cached = %d, want %d", par.CachedRuns(), len(keys))
+	}
+	ser := NewSession(Config{Scale: 0.05, Warps: 16, Parallelism: 1})
+	for _, k := range keys {
+		if par.Run(k).Cycles != ser.Run(k).Cycles {
+			t.Fatalf("parallel/serial mismatch on %v", k)
+		}
+	}
+}
+
+func TestSpeedupSemantics(t *testing.T) {
+	ref := Result{Cycles: 200}
+	cand := Result{Cycles: 100}
+	if got := Speedup(ref, cand); got != 2 {
+		t.Fatalf("speedup = %v", got)
+	}
+	if Speedup(Result{Cycles: 100, Crashed: true}, cand) != 0 {
+		t.Fatal("crashed reference must yield 0")
+	}
+	if Speedup(ref, Result{Crashed: true, Cycles: 1}) != 0 {
+		t.Fatal("crashed candidate must yield 0")
+	}
+	if Speedup(ref, Result{}) != 0 {
+		t.Fatal("zero-cycle candidate must yield 0")
+	}
+}
+
+func TestResultTypedStats(t *testing.T) {
+	s := NewSession(Config{Scale: 0.05, Warps: 16})
+	cppeRun := s.Run(Key{"STN", "cppe", 50})
+	if cppeRun.MHPE == nil || cppeRun.Pattern == nil {
+		t.Fatal("cppe run missing MHPE/pattern stats")
+	}
+	if cppeRun.HPE != nil {
+		t.Fatal("cppe run has HPE stats")
+	}
+	hpeRun := s.Run(Key{"STN", "hpe", 50})
+	if hpeRun.HPE == nil || hpeRun.MHPE != nil {
+		t.Fatal("hpe run stats wrong")
+	}
+	base := s.Run(Key{"STN", "baseline", 50})
+	if base.MHPE != nil || base.Pattern != nil || base.HPE != nil {
+		t.Fatal("baseline run has policy-specific stats")
+	}
+}
+
+func TestUntouchFirstFour(t *testing.T) {
+	r := Result{MHPE: &evict.MHPEStats{IntervalUntouch: []int{10, 60, 5, 3, 99}}}
+	maxv, total := untouchFirstFour(r)
+	if maxv != 60 || total != 78 {
+		t.Fatalf("max=%d total=%d", maxv, total)
+	}
+	if m, tt := untouchFirstFour(Result{}); m != 0 || tt != 0 {
+		t.Fatal("nil MHPE must yield zeros")
+	}
+}
+
+func TestCellRendersCrashAsX(t *testing.T) {
+	if cell(0) != "X" || cell(1.5) != "1.50" {
+		t.Fatalf("cell = %q/%q", cell(0), cell(1.5))
+	}
+}
+
+func TestTableIStatic(t *testing.T) {
+	out := TableI(memdef.DefaultConfig()).String()
+	for _, want := range []string{"28 SMs, 1.4GHz", "512-entry", "64 concurrent walks", "528GB/s", "16GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableIIStatic(t *testing.T) {
+	s := NewSession(Config{Scale: 0.05})
+	out := s.TableII().String()
+	for _, b := range workload.Abbrs() {
+		if !strings.Contains(out, b) {
+			t.Errorf("Table II missing %s", b)
+		}
+	}
+}
+
+func TestExperimentSetupsRegistered(t *testing.T) {
+	s := NewSession(Config{Scale: 0.05})
+	needed := []string{
+		"baseline", "cppe", "cppe-s1", "random", "lru-10%", "lru-20%",
+		"disable-on-full", "hpe", "tree", "mhpe-probe",
+		"cppe-t3-16", "cppe-t3-40",
+	}
+	for _, n := range needed {
+		if _, ok := s.Setup(n); !ok {
+			t.Errorf("setup %q not registered", n)
+		}
+	}
+}
+
+func TestFig3EndToEndSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := NewSession(Config{Scale: 0.05, Warps: 32})
+	out := s.Fig3().String()
+	for _, b := range fig3Benches {
+		if !strings.Contains(out, b) {
+			t.Errorf("Fig 3 missing %s:\n%s", b, out)
+		}
+	}
+	if !strings.Contains(out, "GeoMean") {
+		t.Error("Fig 3 missing aggregate row")
+	}
+}
+
+func TestTableIIIEndToEndSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := NewSession(Config{Scale: 0.05, Warps: 32})
+	out := s.TableIII().String()
+	// Thrashing (dense) apps have untouch 0 and must be omitted; sparse
+	// ones (B+T) must be present.
+	if strings.Contains(out, "MRQ") {
+		t.Errorf("Table III contains dense app MRQ:\n%s", out)
+	}
+	if !strings.Contains(out, "B+T") {
+		t.Errorf("Table III missing sparse app B+T:\n%s", out)
+	}
+}

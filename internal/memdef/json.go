@@ -1,0 +1,35 @@
+package memdef
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ConfigFromJSON builds a Config by applying JSON overrides on top of
+// DefaultConfig: fields absent from the JSON keep their Table-I defaults, so
+// an override file only needs the parameters under study, e.g.
+//
+//	{"NumSMs": 56, "PCIeGBs": 32, "FaultServiceTime": 10000}
+//
+// FaultServiceTime is a time.Duration and therefore given in nanoseconds.
+// Unknown fields are rejected (typos fail loudly instead of silently keeping
+// defaults), and the merged configuration is validated before being returned.
+func ConfigFromJSON(data []byte) (Config, error) {
+	cfg := DefaultConfig()
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("memdef: parsing config JSON: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// ConfigJSON serializes a configuration as indented JSON (the template for
+// override files).
+func ConfigJSON(c Config) ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}

@@ -1,0 +1,65 @@
+package memdef
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfigFromJSONOverrides(t *testing.T) {
+	cfg, err := ConfigFromJSON([]byte(`{"NumSMs": 56, "PCIeGBs": 32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumSMs != 56 || cfg.PCIeGBs != 32 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+	// Absent fields keep Table-I defaults.
+	if cfg.L2TLBEntries != 512 || cfg.FaultServiceTime != 20*time.Microsecond {
+		t.Fatalf("defaults lost: %+v", cfg)
+	}
+}
+
+func TestConfigFromJSONEmpty(t *testing.T) {
+	cfg, err := ConfigFromJSON([]byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg != DefaultConfig() {
+		t.Fatal("empty JSON changed the defaults")
+	}
+}
+
+func TestConfigFromJSONRejectsUnknownFields(t *testing.T) {
+	if _, err := ConfigFromJSON([]byte(`{"NumSSMs": 56}`)); err == nil {
+		t.Fatal("typo'd field accepted")
+	}
+}
+
+func TestConfigFromJSONRejectsInvalid(t *testing.T) {
+	if _, err := ConfigFromJSON([]byte(`{"NumSMs": 0}`)); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := ConfigFromJSON([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumSMs = 14
+	data, err := ConfigJSON(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"NumSMs\": 14") {
+		t.Fatalf("json = %s", data)
+	}
+	back, err := ConfigFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != cfg {
+		t.Fatalf("round trip changed config:\n%+v\n%+v", cfg, back)
+	}
+}

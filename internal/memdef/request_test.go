@@ -1,0 +1,16 @@
+package memdef
+
+import "testing"
+
+func TestAccessKindString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("kind strings")
+	}
+}
+
+func TestRequestPage(t *testing.T) {
+	r := &Request{Access: Access{Addr: PageNum(7).Addr() + 123}}
+	if r.Page() != 7 {
+		t.Fatalf("Page = %v", r.Page())
+	}
+}

@@ -1,0 +1,204 @@
+// Package pagetable implements the 4-level radix page table walked by the
+// GPU's page-table walker. It maps virtual pages of the unified address space
+// to GPU-resident physical frames; pages without a valid GPU mapping raise a
+// far fault that is serviced by the UVM driver (package uvm).
+//
+// The table is structurally faithful — four 9-bit-indexed levels over a
+// 48-bit virtual address, with intermediate directory nodes allocated on
+// demand — because the walker's memory traffic (one access per level, each
+// eligible to hit in the page-walk cache) is part of the modeled cost.
+package pagetable
+
+import (
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// Levels is the radix-tree depth (x86-64-style 4-level table).
+const Levels = 4
+
+// bitsPerLevel is the number of VA bits consumed by each level index.
+const bitsPerLevel = (memdef.VABits - memdef.PageShift) / Levels // 9
+
+const fanout = 1 << bitsPerLevel
+
+// FrameNum is a GPU physical frame number.
+type FrameNum uint64
+
+// InvalidFrame is returned by Lookup for non-resident pages.
+const InvalidFrame = FrameNum(^uint64(0))
+
+// PTE is a leaf page-table entry.
+type PTE struct {
+	Frame FrameNum
+	// Dirty is set when the page has been written on the GPU; a dirty page
+	// must be transferred back over the interconnect on eviction.
+	Dirty bool
+}
+
+// node is one directory page of the radix tree.
+type node struct {
+	children [fanout]*node // interior levels
+	leaves   []PTE         // level-0 only, allocated lazily
+	present  []bool
+}
+
+// Table is a 4-level radix page table.
+type Table struct {
+	root   node
+	mapped int
+	// NodeAddr assigns each directory node a pseudo physical address so the
+	// walker's per-level accesses have distinct cache-visible addresses.
+	nextNodeID uint64
+	nodeIDs    map[*node]uint64
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{nodeIDs: make(map[*node]uint64)}
+}
+
+// indexAt extracts the level-l index (l = Levels-1 is the root) of page p.
+func indexAt(p memdef.PageNum, l int) int {
+	return int(uint64(p)>>(uint(l)*bitsPerLevel)) & (fanout - 1)
+}
+
+// Map installs a virtual-to-physical mapping. Mapping an already-mapped page
+// panics: the UVM driver is responsible for never double-migrating a page.
+func (t *Table) Map(p memdef.PageNum, f FrameNum) {
+	n := t.walkAlloc(p)
+	i := indexAt(p, 0)
+	if n.present[i] {
+		panic(fmt.Sprintf("pagetable: double map of %v", p))
+	}
+	n.leaves[i] = PTE{Frame: f}
+	n.present[i] = true
+	t.mapped++
+}
+
+// Unmap removes the mapping for p and returns its PTE. Unmapping a page that
+// is not mapped panics, for the same driver-invariant reason as Map.
+func (t *Table) Unmap(p memdef.PageNum) PTE {
+	n := t.walkNoAlloc(p)
+	i := indexAt(p, 0)
+	if n == nil || n.leaves == nil || !n.present[i] {
+		panic(fmt.Sprintf("pagetable: unmap of unmapped %v", p))
+	}
+	pte := n.leaves[i]
+	n.leaves[i] = PTE{}
+	n.present[i] = false
+	t.mapped--
+	return pte
+}
+
+// Lookup returns the frame for p, or InvalidFrame if p has no GPU mapping.
+func (t *Table) Lookup(p memdef.PageNum) FrameNum {
+	n := t.walkNoAlloc(p)
+	i := indexAt(p, 0)
+	if n == nil || n.leaves == nil || !n.present[i] {
+		return InvalidFrame
+	}
+	return n.leaves[i].Frame
+}
+
+// IsMapped reports whether p has a valid GPU mapping.
+func (t *Table) IsMapped(p memdef.PageNum) bool { return t.Lookup(p) != InvalidFrame }
+
+// SetDirty marks p dirty. It is a no-op for unmapped pages (a store whose
+// page has already been chosen for eviction is replayed later).
+func (t *Table) SetDirty(p memdef.PageNum) {
+	n := t.walkNoAlloc(p)
+	i := indexAt(p, 0)
+	if n == nil || n.leaves == nil || !n.present[i] {
+		return
+	}
+	n.leaves[i].Dirty = true
+}
+
+// IsDirty reports whether p is mapped and dirty.
+func (t *Table) IsDirty(p memdef.PageNum) bool {
+	n := t.walkNoAlloc(p)
+	i := indexAt(p, 0)
+	if n == nil || n.leaves == nil || !n.present[i] {
+		return false
+	}
+	return n.leaves[i].Dirty
+}
+
+// Mapped returns the number of currently mapped pages.
+func (t *Table) Mapped() int { return t.mapped }
+
+// WalkStep describes one level access performed by the hardware walker: the
+// pseudo-address of the directory entry read, for page-walk-cache indexing.
+type WalkStep struct {
+	Level int // Levels-1 (root) down to 0 (leaf)
+	// EntryAddr is a synthetic, stable address of the directory entry that
+	// this step reads. Distinct nodes get distinct address spaces.
+	EntryAddr memdef.VirtAddr
+}
+
+// WalkPath returns the Levels directory-entry accesses a hardware walk of p
+// performs, root first. The path is defined even for unmapped pages (the walk
+// is what discovers the fault); levels whose directory node does not exist
+// yet are still charged one access (reading the non-present entry).
+func (t *Table) WalkPath(p memdef.PageNum) []WalkStep {
+	steps := make([]WalkStep, 0, Levels)
+	n := &t.root
+	for l := Levels - 1; l >= 0; l-- {
+		id := t.nodeID(n)
+		idx := indexAt(p, l)
+		steps = append(steps, WalkStep{
+			Level:     l,
+			EntryAddr: memdef.VirtAddr(id<<24 | uint64(idx)<<3),
+		})
+		if l == 0 {
+			break
+		}
+		next := n.children[indexAt(p, l)]
+		if next == nil {
+			// The remaining levels fault immediately at this level: the
+			// walker reads a non-present entry and stops. Charge only the
+			// accesses actually made.
+			break
+		}
+		n = next
+	}
+	return steps
+}
+
+func (t *Table) nodeID(n *node) uint64 {
+	if id, ok := t.nodeIDs[n]; ok {
+		return id
+	}
+	t.nextNodeID++
+	t.nodeIDs[n] = t.nextNodeID
+	return t.nextNodeID
+}
+
+func (t *Table) walkAlloc(p memdef.PageNum) *node {
+	n := &t.root
+	for l := Levels - 1; l >= 1; l-- {
+		i := indexAt(p, l)
+		if n.children[i] == nil {
+			n.children[i] = &node{}
+		}
+		n = n.children[i]
+	}
+	if n.leaves == nil {
+		n.leaves = make([]PTE, fanout)
+		n.present = make([]bool, fanout)
+	}
+	return n
+}
+
+func (t *Table) walkNoAlloc(p memdef.PageNum) *node {
+	n := &t.root
+	for l := Levels - 1; l >= 1; l-- {
+		n = n.children[indexAt(p, l)]
+		if n == nil {
+			return nil
+		}
+	}
+	return n
+}

@@ -1,0 +1,221 @@
+package pagetable
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+func TestMapLookupUnmap(t *testing.T) {
+	pt := New()
+	p := memdef.PageNum(0x12345)
+	if pt.IsMapped(p) {
+		t.Fatal("fresh table maps page")
+	}
+	pt.Map(p, 7)
+	if got := pt.Lookup(p); got != 7 {
+		t.Fatalf("Lookup = %d, want 7", got)
+	}
+	if pt.Mapped() != 1 {
+		t.Fatalf("Mapped = %d", pt.Mapped())
+	}
+	pte := pt.Unmap(p)
+	if pte.Frame != 7 || pte.Dirty {
+		t.Fatalf("Unmap PTE = %+v", pte)
+	}
+	if pt.IsMapped(p) || pt.Mapped() != 0 {
+		t.Fatal("page still mapped after Unmap")
+	}
+}
+
+func TestFrameZeroIsValid(t *testing.T) {
+	pt := New()
+	pt.Map(42, 0)
+	if !pt.IsMapped(42) {
+		t.Fatal("frame 0 treated as unmapped")
+	}
+	if pt.Lookup(42) != 0 {
+		t.Fatal("frame 0 lookup wrong")
+	}
+}
+
+func TestDoubleMapPanics(t *testing.T) {
+	pt := New()
+	pt.Map(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Map did not panic")
+		}
+	}()
+	pt.Map(1, 2)
+}
+
+func TestUnmapUnmappedPanics(t *testing.T) {
+	pt := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("Unmap of unmapped page did not panic")
+		}
+	}()
+	pt.Unmap(99)
+}
+
+func TestDirtyTracking(t *testing.T) {
+	pt := New()
+	pt.Map(5, 50)
+	if pt.IsDirty(5) {
+		t.Fatal("fresh mapping dirty")
+	}
+	pt.SetDirty(5)
+	if !pt.IsDirty(5) {
+		t.Fatal("SetDirty lost")
+	}
+	pte := pt.Unmap(5)
+	if !pte.Dirty {
+		t.Fatal("Unmap dropped dirty bit")
+	}
+	// SetDirty on unmapped page is a harmless no-op.
+	pt.SetDirty(5)
+	if pt.IsDirty(5) {
+		t.Fatal("SetDirty resurrected unmapped page")
+	}
+}
+
+func TestNeighborIsolation(t *testing.T) {
+	// Pages sharing all but the last level index must not interfere.
+	pt := New()
+	base := memdef.PageNum(0x40000)
+	for i := 0; i < 512; i++ {
+		pt.Map(base+memdef.PageNum(i), FrameNum(i))
+	}
+	for i := 0; i < 512; i++ {
+		if got := pt.Lookup(base + memdef.PageNum(i)); got != FrameNum(i) {
+			t.Fatalf("Lookup(%d) = %d", i, got)
+		}
+	}
+	pt.Unmap(base + 100)
+	if pt.IsMapped(base + 100) {
+		t.Fatal("unmap failed")
+	}
+	if !pt.IsMapped(base+99) || !pt.IsMapped(base+101) {
+		t.Fatal("unmap disturbed neighbors")
+	}
+}
+
+func TestMapLookupProperty(t *testing.T) {
+	pt := New()
+	seen := map[memdef.PageNum]FrameNum{}
+	f := func(raw uint64, frame uint32) bool {
+		p := memdef.PageNum(raw & (1<<36 - 1))
+		if _, ok := seen[p]; ok {
+			return pt.Lookup(p) == seen[p]
+		}
+		pt.Map(p, FrameNum(frame))
+		seen[p] = FrameNum(frame)
+		return pt.Lookup(p) == FrameNum(frame) && pt.Mapped() == len(seen)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkPathShape(t *testing.T) {
+	pt := New()
+	p := memdef.PageNum(0x1_2345_6789 & (1<<36 - 1))
+
+	// Before mapping: the root exists, deeper nodes do not, so the walk
+	// stops after the first non-present entry (1 access).
+	steps := pt.WalkPath(p)
+	if len(steps) != 1 || steps[0].Level != Levels-1 {
+		t.Fatalf("unmapped walk steps = %+v", steps)
+	}
+
+	pt.Map(p, 3)
+	steps = pt.WalkPath(p)
+	if len(steps) != Levels {
+		t.Fatalf("mapped walk has %d steps, want %d", len(steps), Levels)
+	}
+	for i, s := range steps {
+		if s.Level != Levels-1-i {
+			t.Fatalf("step %d level = %d", i, s.Level)
+		}
+	}
+	// Entry addresses must be distinct across levels.
+	addrs := map[memdef.VirtAddr]bool{}
+	for _, s := range steps {
+		if addrs[s.EntryAddr] {
+			t.Fatalf("duplicate entry address in walk: %+v", steps)
+		}
+		addrs[s.EntryAddr] = true
+	}
+}
+
+func TestWalkPathSharesUpperLevels(t *testing.T) {
+	pt := New()
+	a := memdef.PageNum(0x1000)
+	b := memdef.PageNum(0x1001) // same leaf node, adjacent entries
+	pt.Map(a, 1)
+	pt.Map(b, 2)
+	sa, sb := pt.WalkPath(a), pt.WalkPath(b)
+	for i := 0; i < Levels-1; i++ {
+		if sa[i].EntryAddr != sb[i].EntryAddr {
+			t.Fatalf("level %d entries differ for adjacent pages", sa[i].Level)
+		}
+	}
+	if sa[Levels-1].EntryAddr == sb[Levels-1].EntryAddr {
+		t.Fatal("leaf entries identical for distinct pages")
+	}
+}
+
+func TestWalkPathStableAcrossCalls(t *testing.T) {
+	pt := New()
+	rng := rand.New(rand.NewSource(1))
+	pages := make([]memdef.PageNum, 100)
+	for i := range pages {
+		pages[i] = memdef.PageNum(rng.Uint64() & (1<<36 - 1))
+		pt.Map(pages[i], FrameNum(i))
+	}
+	for _, p := range pages {
+		s1, s2 := pt.WalkPath(p), pt.WalkPath(p)
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				t.Fatalf("walk path unstable for %v", p)
+			}
+		}
+	}
+}
+
+func TestManyMappingsStress(t *testing.T) {
+	pt := New()
+	rng := rand.New(rand.NewSource(42))
+	ref := map[memdef.PageNum]FrameNum{}
+	for i := 0; i < 20000; i++ {
+		p := memdef.PageNum(rng.Uint64() & (1<<30 - 1))
+		if f, ok := ref[p]; ok {
+			if rng.Intn(2) == 0 {
+				got := pt.Unmap(p)
+				if got.Frame != f {
+					t.Fatalf("Unmap(%v).Frame = %d, want %d", p, got.Frame, f)
+				}
+				delete(ref, p)
+			}
+			continue
+		}
+		f := FrameNum(rng.Uint64())
+		if f == InvalidFrame {
+			f = 0
+		}
+		pt.Map(p, f)
+		ref[p] = f
+	}
+	if pt.Mapped() != len(ref) {
+		t.Fatalf("Mapped = %d, want %d", pt.Mapped(), len(ref))
+	}
+	for p, f := range ref {
+		if pt.Lookup(p) != f {
+			t.Fatalf("Lookup(%v) = %d, want %d", p, pt.Lookup(p), f)
+		}
+	}
+}

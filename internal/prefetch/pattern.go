@@ -1,0 +1,133 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// DeletionScheme selects how the pattern buffer forgets chunks whose faults
+// stop matching the recorded touch pattern (Section IV-C, Fig. 6).
+type DeletionScheme int
+
+const (
+	// Scheme1 deletes a chunk's pattern whenever a faulted page does not
+	// match the touch pattern.
+	Scheme1 DeletionScheme = 1
+	// Scheme2 deletes a chunk's pattern only when the mismatch happens on
+	// the first lookup of that entry; once an entry has matched, it stays.
+	Scheme2 DeletionScheme = 2
+)
+
+// patternEntry is one pattern-buffer record.
+type patternEntry struct {
+	touched     memdef.PageBitmap // pages touched in the previous residency
+	matchedOnce bool              // a fault has matched this pattern before
+}
+
+// PatternStats counts pattern-buffer activity.
+type PatternStats struct {
+	Recorded   uint64 // entries inserted on eviction
+	Hits       uint64 // faults that found their chunk in the buffer
+	Matches    uint64 // hits whose faulted page matched the pattern
+	Mismatches uint64
+	Deletions  uint64
+	PeakLen    int
+}
+
+// Pattern is CPPE's access pattern-aware prefetcher. It behaves like the
+// locality prefetcher until memory fills; afterwards it consults a pattern
+// buffer of evicted chunks' touch vectors:
+//
+//   - buffer hit and the faulted page matches the pattern: migrate only the
+//     pattern's touched pages (that are not already resident);
+//   - buffer hit but mismatch: migrate the whole chunk and delete the entry
+//     according to the configured scheme;
+//   - buffer miss: migrate the whole chunk.
+//
+// Only chunks whose untouch level is at least MinUntouch (paper: 8, half a
+// chunk) are recorded, keeping the buffer short.
+type Pattern struct {
+	scheme     DeletionScheme
+	minUntouch int
+	buf        map[memdef.ChunkID]*patternEntry
+	stats      PatternStats
+}
+
+// NewPattern returns a pattern-aware prefetcher with the given deletion
+// scheme and minimum untouch level for recording (0 means the paper's 8).
+func NewPattern(scheme DeletionScheme, minUntouch int) *Pattern {
+	if scheme != Scheme1 && scheme != Scheme2 {
+		panic(fmt.Sprintf("prefetch: unknown deletion scheme %d", scheme))
+	}
+	if minUntouch <= 0 {
+		minUntouch = 8
+	}
+	return &Pattern{
+		scheme:     scheme,
+		minUntouch: minUntouch,
+		buf:        make(map[memdef.ChunkID]*patternEntry),
+	}
+}
+
+// Name implements Prefetcher.
+func (pf *Pattern) Name() string { return fmt.Sprintf("pattern-s%d", int(pf.scheme)) }
+
+// Plan implements the pattern lookup described above.
+func (pf *Pattern) Plan(p memdef.PageNum, ctx Context) []memdef.PageNum {
+	if !ctx.MemoryFull {
+		return chunkPages(p, ctx.Resident)
+	}
+	c := p.Chunk()
+	e, ok := pf.buf[c]
+	if !ok {
+		return chunkPages(p, ctx.Resident)
+	}
+	pf.stats.Hits++
+	if e.touched.Has(p.Index()) {
+		// Pattern match: migrate only the touched pages of the pattern.
+		pf.stats.Matches++
+		e.matchedOnce = true
+		out := make([]memdef.PageNum, 0, e.touched.Count())
+		for _, i := range e.touched.Indices() {
+			q := c.Page(i)
+			if q == p || !ctx.Resident(q) {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	// Mismatch: whole chunk, and delete per scheme.
+	pf.stats.Mismatches++
+	if pf.scheme == Scheme1 || !e.matchedOnce {
+		delete(pf.buf, c)
+		pf.stats.Deletions++
+	}
+	return chunkPages(p, ctx.Resident)
+}
+
+// OnMigrate implements Prefetcher (the buffer is fed by evictions only).
+func (pf *Pattern) OnMigrate(pages []memdef.PageNum) {}
+
+// OnEvict records the chunk's touch pattern when it is sparse enough to be
+// worth remembering. A chunk with no touched pages at all is not recorded:
+// its "pattern" would never match any fault.
+func (pf *Pattern) OnEvict(c memdef.ChunkID, touched memdef.PageBitmap, untouch int) {
+	if untouch < pf.minUntouch || touched == 0 {
+		return
+	}
+	pf.buf[c] = &patternEntry{touched: touched}
+	pf.stats.Recorded++
+	if len(pf.buf) > pf.stats.PeakLen {
+		pf.stats.PeakLen = len(pf.buf)
+	}
+}
+
+// Len returns the current buffer length (overhead analysis, Section VI-C).
+func (pf *Pattern) Len() int { return len(pf.buf) }
+
+// Stats returns a snapshot of buffer activity.
+func (pf *Pattern) Stats() PatternStats { return pf.stats }
+
+// Scheme returns the configured deletion scheme.
+func (pf *Pattern) Scheme() DeletionScheme { return pf.scheme }

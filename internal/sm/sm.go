@@ -1,0 +1,227 @@
+// Package sm models the GPU's streaming multiprocessors and composes the full
+// simulated machine (SMs + MMU + caches + DRAM + interconnect + UVM driver).
+//
+// Each SM runs a set of warps; each warp is an independent stream of
+// post-coalesced global-memory accesses. A warp issues its next access a
+// fixed compute gap after the previous one completes. When an access far
+// faults, only that warp stalls (replayable far faults); the SM — and the
+// whole GPU — keeps executing other warps. This is the execution-model
+// abstraction the paper's fault-overhead analysis relies on: with page faults
+// costing ~28,000 cycles, pipeline detail below the warp level is noise.
+package sm
+
+import (
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/cache"
+	"github.com/reproductions/cppe/internal/dram"
+	"github.com/reproductions/cppe/internal/engine"
+	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/prefetch"
+	"github.com/reproductions/cppe/internal/uvm"
+	"github.com/reproductions/cppe/internal/xbus"
+)
+
+// memPath is the shared L2-cache + DRAM data path, used by SM data accesses
+// (after their private L1) and by the page-table walker.
+type memPath struct {
+	eng  *engine.Engine
+	cfg  memdef.Config
+	l2   *cache.Cache
+	dram *dram.DRAM
+}
+
+// Access implements ptw.MemAccessor: L2 lookup, then DRAM on a miss.
+func (mp *memPath) Access(a memdef.VirtAddr, kind memdef.AccessKind, done func()) {
+	engine.After(mp.eng, mp.cfg.L2HitLatency, func() {
+		res := mp.l2.Access(a, kind)
+		if res.WritebackVictim {
+			// Dirty victim drains to DRAM off the critical path.
+			mp.dram.Access(a, memdef.Write, nil)
+		}
+		if res.Hit {
+			done()
+			return
+		}
+		mp.dram.Access(a, kind, done)
+	})
+}
+
+// Warp is one in-flight access stream.
+type warp struct {
+	id    memdef.WarpID
+	sm    *SM
+	trace []memdef.Access
+	pos   int
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	id      memdef.SMID
+	machine *Machine
+	l1      *cache.Cache
+	warps   []*warp
+
+	accessesDone uint64
+	stallCycles  memdef.Cycle
+}
+
+// Machine is the complete simulated GPU attached to a host over PCIe.
+type Machine struct {
+	Eng  *engine.Engine
+	Cfg  memdef.Config
+	L2   *cache.Cache
+	DRAM *dram.DRAM
+	Link *xbus.Link
+	MMU  *uvm.Manager
+	SMs  []*SM
+
+	mp          *memPath
+	activeWarps int
+	finished    memdef.Cycle
+}
+
+// NewMachine builds the full system with the given eviction policy and
+// prefetcher, and loads one trace per warp. Traces beyond
+// NumSMs x WarpsPerSM panic; missing traces just leave warps idle.
+func NewMachine(cfg memdef.Config, pol evict.Policy, pf prefetch.Prefetcher, traces [][]memdef.Access) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	maxWarps := cfg.NumSMs * cfg.WarpsPerSM
+	if len(traces) > maxWarps {
+		panic(fmt.Sprintf("sm: %d traces exceed %d warps", len(traces), maxWarps))
+	}
+	eng := engine.New()
+	l2 := cache.New("l2", cfg.L2CacheBytes, cfg.L2CacheWays, cfg.L2CacheLineSz)
+	dr := dram.New(eng, cfg)
+	link := xbus.New(eng, cfg)
+	mp := &memPath{eng: eng, cfg: cfg, l2: l2, dram: dr}
+	mmu := uvm.New(eng, cfg, link, pol, pf, mp)
+
+	m := &Machine{Eng: eng, Cfg: cfg, L2: l2, DRAM: dr, Link: link, MMU: mmu, mp: mp}
+	for i := 0; i < cfg.NumSMs; i++ {
+		s := &SM{
+			id:      memdef.SMID(i),
+			machine: m,
+			l1:      cache.New(fmt.Sprintf("l1-sm%d", i), cfg.L1CacheBytes, cfg.L1CacheWays, cfg.L1CacheLineSz),
+		}
+		m.SMs = append(m.SMs, s)
+	}
+	// Round-robin trace assignment across SMs so a workload's parallelism
+	// spreads over the machine the way a real grid would.
+	for wi, tr := range traces {
+		if len(tr) == 0 {
+			continue
+		}
+		s := m.SMs[wi%cfg.NumSMs]
+		s.warps = append(s.warps, &warp{
+			id:    memdef.WarpID(wi),
+			sm:    s,
+			trace: tr,
+		})
+		m.activeWarps++
+	}
+	return m
+}
+
+// SetFootprint forwards the application footprint to the thrash detector.
+func (m *Machine) SetFootprint(pages int) { m.MMU.SetFootprint(pages) }
+
+// Result summarizes one simulation.
+type Result struct {
+	// Cycles is the total execution time in core cycles.
+	Cycles memdef.Cycle
+	// Crashed is true when the thrash detector aborted the run (the modeled
+	// equivalent of the paper's baseline crashes) or the event budget blew.
+	Crashed bool
+	// Accesses is the total completed memory accesses.
+	Accesses uint64
+}
+
+// Run executes the machine to completion and returns the result. maxEvents
+// bounds runaway simulations (0 = a generous default).
+func (m *Machine) Run(maxEvents uint64) Result {
+	if maxEvents == 0 {
+		maxEvents = 2_000_000_000
+	}
+	m.Eng.SetEventBudget(maxEvents)
+	for _, s := range m.SMs {
+		for _, w := range s.warps {
+			w := w
+			m.Eng.Schedule(0, w.step)
+		}
+	}
+	_, err := m.Eng.Run(func() bool { return m.MMU.Aborted() })
+	var accesses uint64
+	for _, s := range m.SMs {
+		accesses += s.accessesDone
+	}
+	return Result{
+		Cycles:   m.Eng.Now(),
+		Crashed:  m.MMU.Aborted() || err == engine.ErrBudget,
+		Accesses: accesses,
+	}
+}
+
+// step issues the warp's next access, or retires the warp.
+func (w *warp) step() {
+	if w.pos >= len(w.trace) {
+		w.sm.machine.activeWarps--
+		return
+	}
+	acc := w.trace[w.pos]
+	w.pos++
+	issue := w.sm.machine.Eng.Now()
+	w.sm.machine.MMU.Translate(w.sm.id, acc, func() {
+		w.sm.dataAccess(acc, func() {
+			now := w.sm.machine.Eng.Now()
+			w.sm.accessesDone++
+			w.sm.stallCycles += now - issue
+			engine.After(w.sm.machine.Eng, w.sm.machine.Cfg.ComputeGapCycles, w.step)
+		})
+	})
+}
+
+// dataAccess runs the post-translation data path: private L1, then the
+// shared L2/DRAM path.
+func (s *SM) dataAccess(acc memdef.Access, done func()) {
+	m := s.machine
+	engine.After(m.Eng, m.Cfg.L1HitLatency, func() {
+		res := s.l1.Access(acc.Addr, acc.Kind)
+		if res.WritebackVictim {
+			m.DRAM.Access(acc.Addr, memdef.Write, nil)
+		}
+		if res.Hit {
+			done()
+			return
+		}
+		m.mp.Access(acc.Addr, acc.Kind, done)
+	})
+}
+
+// ActiveWarps returns the number of warps that have not retired.
+func (m *Machine) ActiveWarps() int { return m.activeWarps }
+
+// SMStats is per-SM accounting.
+type SMStats struct {
+	ID           memdef.SMID
+	AccessesDone uint64
+	StallCycles  memdef.Cycle
+	L1Cache      cache.Stats
+}
+
+// SMStats returns the per-SM statistics.
+func (m *Machine) SMStats() []SMStats {
+	out := make([]SMStats, 0, len(m.SMs))
+	for _, s := range m.SMs {
+		out = append(out, SMStats{
+			ID:           s.id,
+			AccessesDone: s.accessesDone,
+			StallCycles:  s.stallCycles,
+			L1Cache:      s.l1.Stats(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// BarsFromTable renders one numeric column of a table as a horizontal ASCII
+// bar chart — the textual analogue of the paper's per-application bar
+// figures. labelCol and valueCol are column indices; rows whose value cell is
+// not a number (e.g. the crash marker "X") get an "X" bar. A reference line
+// at 1.0 is marked with '|' when the values straddle it (speedup charts).
+func BarsFromTable(t *Table, labelCol, valueCol, width int) string {
+	if labelCol < 0 || labelCol >= len(t.Columns) || valueCol < 0 || valueCol >= len(t.Columns) {
+		panic(fmt.Sprintf("stats: bar columns out of range (%d, %d of %d)", labelCol, valueCol, len(t.Columns)))
+	}
+	if width <= 0 {
+		width = 40
+	}
+	type row struct {
+		label string
+		value float64
+		ok    bool
+	}
+	var rows []row
+	maxVal := 0.0
+	labelW := 0
+	for _, r := range t.Rows {
+		v, err := strconv.ParseFloat(r[valueCol], 64)
+		rows = append(rows, row{label: r[labelCol], value: v, ok: err == nil})
+		if err == nil && v > maxVal {
+			maxVal = v
+		}
+		if len(r[labelCol]) > labelW {
+			labelW = len(r[labelCol])
+		}
+	}
+	if maxVal == 0 {
+		maxVal = 1
+	}
+
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s [%s] ==\n", t.Title, t.Columns[valueCol])
+	}
+	refCol := -1
+	if maxVal > 1 {
+		refCol = int(1.0 / maxVal * float64(width))
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-*s ", labelW, r.label)
+		if !r.ok {
+			b.WriteString("X\n")
+			continue
+		}
+		n := int(r.value / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		for i := 0; i < width; i++ {
+			switch {
+			case i < n:
+				b.WriteByte('#')
+			case i == refCol:
+				b.WriteByte('|')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		fmt.Fprintf(&b, " %.2f\n", r.value)
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func barTable() *Table {
+	t := NewTable("Fig X", "App", "Speedup")
+	t.AddRow("SRD", "2.00")
+	t.AddRow("HSD", "1.00")
+	t.AddRow("MVT", "X")
+	t.AddRow("B+T", "0.50")
+	return t
+}
+
+func TestBarsBasicShape(t *testing.T) {
+	out := BarsFromTable(barTable(), 0, 1, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + 4 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "Fig X") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	// The 2.00 bar must be the longest; 0.50 a quarter of it.
+	srd := strings.Count(lines[1], "#")
+	hsd := strings.Count(lines[2], "#")
+	bt := strings.Count(lines[4], "#")
+	if srd != 20 || hsd != 10 || bt != 5 {
+		t.Fatalf("bar lengths srd=%d hsd=%d b+t=%d:\n%s", srd, hsd, bt, out)
+	}
+	// Crashed rows render as X without a bar.
+	if !strings.Contains(lines[3], "X") || strings.Count(lines[3], "#") != 0 {
+		t.Fatalf("crash row wrong: %q", lines[3])
+	}
+}
+
+func TestBarsReferenceLine(t *testing.T) {
+	out := BarsFromTable(barTable(), 0, 1, 20)
+	// 1.0 of max 2.0 over width 20 -> reference at column 10; visible in
+	// rows whose bars stop before it (the 0.50 row).
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "B+T") && !strings.Contains(line, "|") {
+			t.Fatalf("reference line missing in %q", line)
+		}
+	}
+}
+
+func TestBarsValueSuffix(t *testing.T) {
+	out := BarsFromTable(barTable(), 0, 1, 10)
+	if !strings.Contains(out, "2.00") || !strings.Contains(out, "0.50") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestBarsBadColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad column did not panic")
+		}
+	}()
+	BarsFromTable(barTable(), 0, 9, 10)
+}
+
+func TestBarsDefaultWidth(t *testing.T) {
+	out := BarsFromTable(barTable(), 0, 1, 0)
+	if strings.Count(strings.Split(out, "\n")[1], "#") != 40 {
+		t.Fatal("default width not applied")
+	}
+}
+
+func TestBarsAllZero(t *testing.T) {
+	tb := NewTable("z", "A", "V")
+	tb.AddRow("x", "0.00")
+	out := BarsFromTable(tb, 0, 1, 10)
+	if strings.Count(out, "#") != 0 {
+		t.Fatalf("zero value produced bars:\n%s", out)
+	}
+}

@@ -1,0 +1,45 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("Fig X", "App", "Speedup")
+	tb.Caption = "not in csv"
+	tb.AddRow("SRD", "2.10")
+	tb.AddRow("with,comma", "1.00")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "Fig X") || strings.Contains(out, "not in csv") {
+		t.Fatalf("title/caption leaked into CSV:\n%s", out)
+	}
+	// Parse back: must be rectangular and quote-safe.
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "App" || rows[1][1] != "2.10" || rows[2][0] != "with,comma" {
+		t.Fatalf("parsed = %v", rows)
+	}
+}
+
+func TestWriteCSVEmptyTable(t *testing.T) {
+	tb := NewTable("t", "A", "B")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "A,B" {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}

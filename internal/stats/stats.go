@@ -1,0 +1,181 @@
+// Package stats provides the small numeric and tabular reporting helpers the
+// experiment harness uses to regenerate the paper's tables and figures as
+// aligned text.
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values (0 if none). It is
+// the standard aggregate for speedups; non-positive values are skipped.
+func GeoMean(xs []float64) float64 {
+	s, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Max returns the maximum (0 for empty input).
+func Max(xs []float64) float64 {
+	m := 0.0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Table is a named grid of strings with a caption, printable as aligned text.
+type Table struct {
+	Title   string
+	Caption string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns an empty table.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows are padded, long rows panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+	}
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowValues appends a row of stringified values: strings pass through,
+// float64 formats with 2 decimals, integers plainly.
+func (t *Table) AddRowValues(cells ...interface{}) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, FormatCell(c))
+	}
+	t.AddRow(out...)
+}
+
+// FormatCell renders one value the way AddRowValues does.
+func FormatCell(c interface{}) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return fmt.Sprintf("%.2f", v)
+	case float32:
+		return fmt.Sprintf("%.2f", v)
+	case int, int64, uint64, uint32, int32:
+		return fmt.Sprintf("%d", v)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// Fprint writes the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	if t.Caption != "" {
+		fmt.Fprintf(w, "%s\n", t.Caption)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table as CSV (header row then data rows), for
+// downstream plotting tools. Title and caption are not part of the CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

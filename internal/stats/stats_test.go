@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean")
+	}
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-9 {
+		t.Fatalf("geomean = %v, want 2", got)
+	}
+	// Non-positive entries are skipped.
+	got = GeoMean([]float64{0, -3, 8, 2})
+	if math.Abs(got-4) > 1e-9 {
+		t.Fatalf("geomean = %v, want 4", got)
+	}
+}
+
+func TestGeoMeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, r := range raw {
+			v := math.Abs(r)
+			if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) && v < 1e100 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := GeoMean(xs)
+		return g >= Min(xs)*(1-1e-9) && g <= Max(xs)*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Max(xs) != 3 || Min(xs) != 1 {
+		t.Fatalf("max/min = %v/%v", Max(xs), Min(xs))
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Fatal("empty max/min")
+	}
+	if Max([]float64{-5, -2}) != -2 {
+		t.Fatal("negative max")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("Fig X", "App", "Speedup")
+	tb.AddRow("SRD", "2.10")
+	tb.AddRowValues("HSD", 1.5)
+	s := tb.String()
+	if !strings.Contains(s, "== Fig X ==") {
+		t.Fatalf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "SRD") || !strings.Contains(s, "1.50") {
+		t.Fatalf("missing cells:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("t", "A", "B", "C")
+	tb.AddRow("x")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatal("row not padded")
+	}
+}
+
+func TestTableLongRowPanics(t *testing.T) {
+	tb := NewTable("t", "A")
+	defer func() {
+		if recover() == nil {
+			t.Error("long row did not panic")
+		}
+	}()
+	tb.AddRow("x", "y")
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "Name", "V")
+	tb.AddRow("longername", "1")
+	s := tb.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Header and row should align: "V" column starts at the same offset.
+	if strings.Index(lines[0], "V") != strings.Index(lines[2], "1") {
+		t.Fatalf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	if FormatCell(1.234) != "1.23" {
+		t.Fatal("float formatting")
+	}
+	if FormatCell(42) != "42" {
+		t.Fatal("int formatting")
+	}
+	if FormatCell("x") != "x" {
+		t.Fatal("string formatting")
+	}
+	if FormatCell(uint64(7)) != "7" {
+		t.Fatal("uint64 formatting")
+	}
+}
+
+func TestCaptionPrinted(t *testing.T) {
+	tb := NewTable("t", "A")
+	tb.Caption = "normalized to baseline"
+	if !strings.Contains(tb.String(), "normalized to baseline") {
+		t.Fatal("caption missing")
+	}
+}

@@ -1,0 +1,161 @@
+// Package tlb provides the set-associative translation lookaside buffers used
+// by the GPU MMU model: a private L1 TLB per SM and a shared L2 TLB, both with
+// LRU replacement (Table I). The TLB here is a pure cache of page-to-frame
+// mappings; timing (lookup latencies, ports) and miss handling (walker, fault
+// path) are composed around it by the GMMU in package uvm.
+package tlb
+
+import (
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// entry is one TLB slot.
+type entry struct {
+	page  memdef.PageNum
+	valid bool
+	lru   uint64 // larger = more recently used
+}
+
+// TLB is a set-associative, LRU-replacement translation cache.
+type TLB struct {
+	name    string
+	sets    int
+	ways    int
+	entries []entry // sets x ways, row-major
+	tick    uint64
+
+	// Stats
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+	shootdowns uint64
+}
+
+// New returns a TLB with the given total entry count and associativity.
+// A fully associative TLB is expressed as ways == entries.
+func New(name string, entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("tlb: bad geometry %d entries / %d ways", entries, ways))
+	}
+	return &TLB{
+		name:    name,
+		sets:    entries / ways,
+		ways:    ways,
+		entries: make([]entry, entries),
+	}
+}
+
+func (t *TLB) setOf(p memdef.PageNum) int { return int(uint64(p) % uint64(t.sets)) }
+
+// Lookup probes the TLB for page p, updating LRU state and hit/miss counters.
+func (t *TLB) Lookup(p memdef.PageNum) bool {
+	s := t.setOf(p)
+	base := s * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.page == p {
+			t.tick++
+			e.lru = t.tick
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	return false
+}
+
+// Contains probes without disturbing LRU state or statistics.
+func (t *TLB) Contains(p memdef.PageNum) bool {
+	base := t.setOf(p) * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.page == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the entry for p, evicting the LRU way of its set if needed.
+// Re-inserting a present page just refreshes its recency.
+func (t *TLB) Insert(p memdef.PageNum) {
+	s := t.setOf(p)
+	base := s * t.ways
+	t.tick++
+	victim := base
+	var victimLRU uint64 = ^uint64(0)
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.page == p {
+			e.lru = t.tick
+			return
+		}
+		if !e.valid {
+			victim = base + i
+			victimLRU = 0
+			continue
+		}
+		if e.lru < victimLRU {
+			victim = base + i
+			victimLRU = e.lru
+		}
+	}
+	if t.entries[victim].valid {
+		t.evictions++
+	}
+	t.entries[victim] = entry{page: p, valid: true, lru: t.tick}
+}
+
+// Invalidate removes the entry for p if present (TLB shootdown on page
+// eviction). It returns whether an entry was removed.
+func (t *TLB) Invalidate(p memdef.PageNum) bool {
+	base := t.setOf(p) * t.ways
+	for i := 0; i < t.ways; i++ {
+		e := &t.entries[base+i]
+		if e.valid && e.page == p {
+			e.valid = false
+			t.shootdowns++
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+// Stats is a snapshot of TLB counters.
+type Stats struct {
+	Name       string
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Shootdowns uint64
+}
+
+// HitRate returns hits/(hits+misses), or 0 when no lookups happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the TLB's counters.
+func (t *TLB) Stats() Stats {
+	return Stats{Name: t.name, Hits: t.hits, Misses: t.misses, Evictions: t.evictions, Shootdowns: t.shootdowns}
+}
+
+// Name returns the diagnostic name.
+func (t *TLB) Name() string { return t.name }
+
+// Sets and Ways expose the geometry (used by tests and docs tables).
+func (t *TLB) Sets() int { return t.sets }
+func (t *TLB) Ways() int { return t.ways }

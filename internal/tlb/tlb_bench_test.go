@@ -1,0 +1,33 @@
+package tlb
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// BenchmarkLookupHit measures the hot path: an L1-TLB-sized working set that
+// always hits.
+func BenchmarkLookupHit(b *testing.B) {
+	tl := New("l1", 128, 128)
+	for p := memdef.PageNum(0); p < 128; p++ {
+		tl.Insert(p)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Lookup(memdef.PageNum(i & 127))
+	}
+}
+
+// BenchmarkLookupMissInsert measures the fill path of the set-associative L2
+// TLB under a streaming (always-miss) workload.
+func BenchmarkLookupMissInsert(b *testing.B) {
+	tl := New("l2", 512, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := memdef.PageNum(i)
+		if !tl.Lookup(p) {
+			tl.Insert(p)
+		}
+	}
+}

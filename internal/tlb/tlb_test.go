@@ -1,0 +1,181 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 1}, {4, 0}, {10, 3}, {-8, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			New("x", bad[0], bad[1])
+		}()
+	}
+	tl := New("l2", 512, 16)
+	if tl.Sets() != 32 || tl.Ways() != 16 {
+		t.Fatalf("geometry = %dx%d", tl.Sets(), tl.Ways())
+	}
+}
+
+func TestHitMissInsert(t *testing.T) {
+	tl := New("l1", 8, 8)
+	if tl.Lookup(1) {
+		t.Fatal("empty TLB hit")
+	}
+	tl.Insert(1)
+	if !tl.Lookup(1) {
+		t.Fatal("miss after insert")
+	}
+	s := tl.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %f", s.HitRate())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Fully associative, 4 entries.
+	tl := New("l1", 4, 4)
+	for p := memdef.PageNum(0); p < 4; p++ {
+		tl.Insert(p)
+	}
+	// Touch 0 so 1 becomes LRU.
+	if !tl.Lookup(0) {
+		t.Fatal("0 missing")
+	}
+	tl.Insert(100) // must evict 1
+	if tl.Contains(1) {
+		t.Fatal("LRU victim 1 survived")
+	}
+	for _, p := range []memdef.PageNum{0, 2, 3, 100} {
+		if !tl.Contains(p) {
+			t.Fatalf("page %v wrongly evicted", p)
+		}
+	}
+	if tl.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", tl.Stats().Evictions)
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	// 2 sets x 2 ways: even pages map to set 0, odd to set 1.
+	tl := New("l1", 4, 2)
+	tl.Insert(0)
+	tl.Insert(2)
+	tl.Insert(4) // evicts 0 (set 0 full)
+	if tl.Contains(0) {
+		t.Fatal("0 should be evicted from its set")
+	}
+	tl.Insert(1)
+	tl.Insert(3)
+	if !tl.Contains(1) || !tl.Contains(3) {
+		t.Fatal("odd set disturbed by even-set conflict")
+	}
+}
+
+func TestReinsertRefreshesRecency(t *testing.T) {
+	tl := New("l1", 2, 2)
+	tl.Insert(10)
+	tl.Insert(20)
+	tl.Insert(10) // refresh, not duplicate
+	tl.Insert(30) // should evict 20, the LRU
+	if tl.Contains(20) {
+		t.Fatal("20 should be the LRU victim")
+	}
+	if !tl.Contains(10) || !tl.Contains(30) {
+		t.Fatal("refresh lost an entry")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	tl := New("l1", 4, 4)
+	tl.Insert(5)
+	if !tl.Invalidate(5) {
+		t.Fatal("Invalidate missed present entry")
+	}
+	if tl.Invalidate(5) {
+		t.Fatal("Invalidate hit absent entry")
+	}
+	if tl.Contains(5) {
+		t.Fatal("entry survived shootdown")
+	}
+	if tl.Stats().Shootdowns != 1 {
+		t.Fatalf("shootdowns = %d", tl.Stats().Shootdowns)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl := New("l1", 16, 4)
+	for p := memdef.PageNum(0); p < 16; p++ {
+		tl.Insert(p)
+	}
+	tl.Flush()
+	for p := memdef.PageNum(0); p < 16; p++ {
+		if tl.Contains(p) {
+			t.Fatalf("page %v survived Flush", p)
+		}
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	tl := New("l1", 2, 2)
+	tl.Insert(1)
+	tl.Insert(2)
+	// Probing 1 via Contains must NOT refresh it...
+	for i := 0; i < 10; i++ {
+		tl.Contains(1)
+	}
+	tl.Insert(3) // ...so 1 is still LRU and gets evicted.
+	if tl.Contains(1) {
+		t.Fatal("Contains perturbed LRU state")
+	}
+	s := tl.Stats()
+	if s.Hits != 0 {
+		t.Fatalf("Contains counted as hits: %+v", s)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	tl := New("l1", 128, 8)
+	f := func(raw []uint32) bool {
+		for _, r := range raw {
+			tl.Insert(memdef.PageNum(r))
+		}
+		count := 0
+		for p := memdef.PageNum(0); p < 1<<17; p++ {
+			if tl.Contains(p) {
+				count++
+			}
+		}
+		return count <= 128
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetWithinCapacityAlwaysHits(t *testing.T) {
+	// A working set that fits one set's ways must never miss after warmup.
+	tl := New("l1", 128, 8) // 16 sets
+	ws := []memdef.PageNum{0, 16, 32, 48, 64, 80, 96, 112}
+	for _, p := range ws {
+		tl.Insert(p)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 1000; i++ {
+		p := ws[rng.Intn(len(ws))]
+		if !tl.Lookup(p) {
+			t.Fatalf("page %v missed within capacity", p)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/reproductions/cppe/internal/workload"
+)
+
+func benchTrace(b *testing.B) *Trace {
+	b.Helper()
+	w, _ := workload.ByAbbr("SRD")
+	tr := w.Generate(workload.Options{Scale: 0.1, Warps: 32})
+	return &Trace{FootprintPages: tr.FootprintPages, Warps: tr.Warps}
+}
+
+// BenchmarkWrite measures trace encoding throughput.
+func BenchmarkWrite(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Write(io.Discard, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRead measures trace decoding throughput.
+func BenchmarkRead(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

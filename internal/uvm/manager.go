@@ -1,0 +1,533 @@
+// Package uvm implements the unified-memory management layer: the GMMU
+// (GPU-side translation front end: per-SM L1 TLBs, shared L2 TLB, page-table
+// walker) and the software driver runtime that services far faults, migrates
+// pages over the interconnect, manages oversubscribed GPU memory capacity,
+// and coordinates the eviction policy with the prefetcher.
+//
+// The far-fault flow matches Section II-A of the paper: a memory access that
+// misses both TLBs triggers a page-table walk; a walk that finds no valid
+// mapping raises a far fault handled on the host with a 20 µs service
+// latency; the faulting warp is stalled and replayed when the page arrives
+// (replayable far faults, Zheng et al. [9]), while other warps keep running.
+package uvm
+
+import (
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/engine"
+	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/pagetable"
+	"github.com/reproductions/cppe/internal/prefetch"
+	"github.com/reproductions/cppe/internal/ptw"
+	"github.com/reproductions/cppe/internal/tlb"
+	"github.com/reproductions/cppe/internal/xbus"
+)
+
+// chunkState is the GMMU's per-resident-chunk bookkeeping: which pages are
+// resident, which are being migrated, and which have been touched by the GPU
+// since migration (the touch bit vector read at eviction time).
+type chunkState struct {
+	resident memdef.PageBitmap
+	inflight memdef.PageBitmap
+	touched  memdef.PageBitmap
+}
+
+// Stats aggregates the driver-level counters the evaluation reports.
+type Stats struct {
+	// Accesses is the number of Translate calls (post-coalesced accesses).
+	Accesses uint64
+	// L1THits/L2THits count TLB hits at each level.
+	L1THits, L2THits uint64
+	// Walks counts page-table walks started.
+	Walks uint64
+	// FaultEvents counts distinct far-fault service events (fault batches).
+	FaultEvents uint64
+	// MergedFaults counts faults that attached to an in-flight migration.
+	MergedFaults uint64
+	// MigratedPages / MigratedChunks count H2D migration traffic.
+	MigratedPages  uint64
+	MigratedChunks uint64
+	// EvictedPages / EvictedChunks count capacity evictions.
+	EvictedPages  uint64
+	EvictedChunks uint64
+	// DirtyPagesWrittenBack counts D2H write-back pages.
+	DirtyPagesWrittenBack uint64
+	// PeakResidentPages tracks the high-water mark of GPU memory use
+	// (the footprint, when capacity is unlimited).
+	PeakResidentPages int
+
+	// Breakdown attributes completed translations to the path they took
+	// and accumulates each path's total latency, for the latency-breakdown
+	// report.
+	Breakdown Breakdown
+}
+
+// PathKind classifies how a translation was resolved.
+type PathKind int
+
+const (
+	// PathL1Hit resolved in the SM's private L1 TLB.
+	PathL1Hit PathKind = iota
+	// PathL2Hit resolved in the shared L2 TLB.
+	PathL2Hit
+	// PathWalk required a page-table walk that found a valid mapping.
+	PathWalk
+	// PathFault required far-fault servicing (including merged faults that
+	// waited on another fault's migration).
+	PathFault
+	pathCount
+)
+
+func (p PathKind) String() string {
+	switch p {
+	case PathL1Hit:
+		return "L1-TLB"
+	case PathL2Hit:
+		return "L2-TLB"
+	case PathWalk:
+		return "walk"
+	case PathFault:
+		return "fault"
+	default:
+		return "?"
+	}
+}
+
+// Breakdown is the per-path translation accounting.
+type Breakdown struct {
+	Count  [pathCount]uint64
+	Cycles [pathCount]memdef.Cycle
+}
+
+// Share returns the fraction of translations resolved via path p.
+func (b Breakdown) Share(p PathKind) float64 {
+	var total uint64
+	for _, c := range b.Count {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Count[p]) / float64(total)
+}
+
+// AvgLatency returns the mean translation latency of path p in cycles.
+func (b Breakdown) AvgLatency(p PathKind) float64 {
+	if b.Count[p] == 0 {
+		return 0
+	}
+	return float64(b.Cycles[p]) / float64(b.Count[p])
+}
+
+// Manager is the GMMU plus the UVM driver runtime.
+type Manager struct {
+	eng    *engine.Engine
+	cfg    memdef.Config
+	table  *pagetable.Table
+	link   *xbus.Link
+	policy evict.Policy
+	pf     prefetch.Prefetcher
+
+	l1tlbs  []*tlb.TLB
+	l2tlb   *tlb.TLB
+	l2ports *engine.Semaphore // Table I: the shared L2 TLB has 2 ports
+	walker  *ptw.Walker
+
+	capacityPages int // 0 = unlimited
+	usedPages     int
+	memoryFull    bool
+
+	freeFrames []pagetable.FrameNum
+	nextFrame  pagetable.FrameNum
+
+	chunks  map[memdef.ChunkID]*chunkState
+	waiters map[memdef.PageNum][]func()
+	// pendingFault marks pages whose fault has been claimed but whose
+	// migration has not been planned yet (the fault sits in the driver's
+	// fault buffer); later faults on the same page merge into its waiters.
+	pendingFault map[memdef.PageNum]bool
+	// migSlots bounds concurrent fault-batch processing by the driver.
+	migSlots *engine.Semaphore
+
+	footprintPages int
+	aborted        bool
+
+	stats Stats
+}
+
+// New wires a Manager. walkMem is the memory path used by the page-table
+// walker for PWC misses (typically the shared L2 cache + DRAM).
+func New(eng *engine.Engine, cfg memdef.Config, link *xbus.Link, policy evict.Policy, pf prefetch.Prefetcher, walkMem ptw.MemAccessor) *Manager {
+	m := &Manager{
+		eng:           eng,
+		cfg:           cfg,
+		table:         pagetable.New(),
+		link:          link,
+		policy:        policy,
+		pf:            pf,
+		l2tlb:         tlb.New("l2tlb", cfg.L2TLBEntries, cfg.L2TLBWays),
+		capacityPages: cfg.MemoryPages,
+		chunks:        make(map[memdef.ChunkID]*chunkState),
+		waiters:       make(map[memdef.PageNum][]func()),
+		pendingFault:  make(map[memdef.PageNum]bool),
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		m.l1tlbs = append(m.l1tlbs, tlb.New(fmt.Sprintf("l1tlb-sm%d", i), cfg.L1TLBEntries, cfg.L1TLBEntries))
+	}
+	// Clamp driver concurrency so in-flight reservations (one chunk per
+	// slot at most) can never exceed half of a finite capacity.
+	slots := cfg.MaxConcurrentMigrations
+	if slots <= 0 {
+		slots = 1
+	}
+	if cfg.MemoryPages > 0 {
+		if lim := cfg.MemoryPages / memdef.ChunkPages / 2; slots > lim {
+			slots = lim
+		}
+		if slots < 1 {
+			slots = 1
+		}
+	}
+	m.migSlots = engine.NewSemaphore(eng, slots)
+	ports := cfg.L2TLBPorts
+	if ports <= 0 {
+		ports = 1
+	}
+	m.l2ports = engine.NewSemaphore(eng, ports)
+	m.walker = ptw.New(eng, cfg, m.table, walkMem)
+	return m
+}
+
+// SetFootprint tells the thrash detector the application's total footprint
+// in pages (known after the discovery pass).
+func (m *Manager) SetFootprint(pages int) { m.footprintPages = pages }
+
+// Aborted reports whether the thrash detector fired (the modeled equivalent
+// of the baseline crashes the paper observed for MVT and BICG).
+func (m *Manager) Aborted() bool { return m.aborted }
+
+// MemoryFull reports whether GPU memory has filled to capacity.
+func (m *Manager) MemoryFull() bool { return m.memoryFull }
+
+// ResidentPages returns the current number of resident or reserved pages.
+func (m *Manager) ResidentPages() int { return m.usedPages }
+
+// Translate resolves the virtual address of acc for SM sm and invokes done
+// when a valid translation exists (after fault handling if necessary). The
+// GPU-side touch bookkeeping happens at completion.
+func (m *Manager) Translate(sm memdef.SMID, acc memdef.Access, done func()) {
+	m.stats.Accesses++
+	page := acc.Addr.Page()
+	start := m.eng.Now()
+	finish := func(path PathKind) {
+		m.stats.Breakdown.Count[path]++
+		m.stats.Breakdown.Cycles[path] += m.eng.Now() - start
+		m.recordTouch(page)
+		if acc.Kind == memdef.Write {
+			m.table.SetDirty(page)
+		}
+		done()
+	}
+	l1 := m.l1tlbs[sm]
+	engine.After(m.eng, m.cfg.L1TLBLatency, func() {
+		if l1.Lookup(page) {
+			m.stats.L1THits++
+			finish(PathL1Hit)
+			return
+		}
+		// The shared L2 TLB has a bounded number of ports: an access holds
+		// one for the lookup latency; excess lookups queue.
+		m.l2ports.Acquire(func() {
+			engine.After(m.eng, m.cfg.L2TLBLatency, func() {
+				m.l2ports.Release()
+				if m.l2tlb.Lookup(page) {
+					m.stats.L2THits++
+					l1.Insert(page)
+					finish(PathL2Hit)
+					return
+				}
+				m.stats.Walks++
+				m.walker.Walk(page, func(r ptw.Result) {
+					if r.Mapped {
+						m.l2tlb.Insert(page)
+						l1.Insert(page)
+						finish(PathWalk)
+						return
+					}
+					m.handleFault(sm, page, func() {
+						m.l2tlb.Insert(page)
+						l1.Insert(page)
+						finish(PathFault)
+					})
+				})
+			})
+		})
+	})
+}
+
+// recordTouch sets the touch bit on first access of a resident page and
+// notifies the eviction policy.
+func (m *Manager) recordTouch(page memdef.PageNum) {
+	st := m.chunks[page.Chunk()]
+	if st == nil {
+		return
+	}
+	idx := page.Index()
+	if !st.resident.Has(idx) || st.touched.Has(idx) {
+		return
+	}
+	st.touched = st.touched.Set(idx)
+	m.policy.OnTouch(page.Chunk(), idx)
+}
+
+// isResidentOrInflight is the prefetcher's residency oracle.
+func (m *Manager) isResidentOrInflight(p memdef.PageNum) bool {
+	st := m.chunks[p.Chunk()]
+	if st == nil {
+		return false
+	}
+	i := p.Index()
+	return st.resident.Has(i) || st.inflight.Has(i)
+}
+
+// handleFault services a far fault on page, invoking resume once the page is
+// resident and mapped. Faults on pages already being migrated (or already
+// claimed by a queued fault) merge; distinct faults queue for one of the
+// driver's bounded fault-processing slots.
+func (m *Manager) handleFault(sm memdef.SMID, page memdef.PageNum, resume func()) {
+	if m.isResidentOrInflight(page) || m.pendingFault[page] {
+		// Another fault is already responsible for this page: merge.
+		m.stats.MergedFaults++
+		m.waiters[page] = append(m.waiters[page], resume)
+		return
+	}
+	m.stats.FaultEvents++
+	m.pendingFault[page] = true
+	m.waiters[page] = append(m.waiters[page], resume)
+	m.policy.OnFault(page.Chunk())
+	m.migSlots.Acquire(func() { m.processFault(page) })
+}
+
+// processFault plans and performs the migration for one claimed fault. It
+// runs holding a driver slot, which is released when the migration commits.
+func (m *Manager) processFault(page memdef.PageNum) {
+	delete(m.pendingFault, page)
+	if m.isResidentOrInflight(page) {
+		// While this fault waited in the fault buffer, another migration
+		// covered its page: the commit of that migration wakes the waiters
+		// (or already did, if the page is fully resident).
+		m.migSlots.Release()
+		st := m.chunks[page.Chunk()]
+		if st != nil && st.resident.Has(page.Index()) {
+			m.wake(page)
+		}
+		return
+	}
+
+	plan := m.pf.Plan(page, prefetch.Context{
+		Resident:   m.isResidentOrInflight,
+		MemoryFull: m.memoryFull,
+	})
+	// A plan may never exceed half the GPU memory (large tree-prefetch
+	// expansions on small memories), or eviction could not make room.
+	if m.capacityPages > 0 && len(plan) > m.capacityPages/2 {
+		trimmed := make([]memdef.PageNum, 0, m.capacityPages/2)
+		trimmed = append(trimmed, page)
+		for _, p := range plan {
+			if len(trimmed) >= m.capacityPages/2 {
+				break
+			}
+			if p != page {
+				trimmed = append(trimmed, p)
+			}
+		}
+		plan = trimmed
+	}
+
+	// Make room. Evictions are decided synchronously (the driver unmaps
+	// before it fills); the write-back transfer is charged asynchronously.
+	if m.capacityPages > 0 {
+		for m.usedPages+len(plan) > m.capacityPages {
+			if !m.evictOne(page.Chunk()) {
+				// Nothing evictable (pathological tiny capacity): shrink the
+				// plan to just the faulted page and retry once.
+				if len(plan) > 1 {
+					plan = []memdef.PageNum{page}
+					continue
+				}
+				panic("uvm: GPU memory exhausted with nothing evictable")
+			}
+		}
+	}
+
+	// Reserve frames and mark the plan in flight.
+	m.usedPages += len(plan)
+	if m.usedPages > m.stats.PeakResidentPages {
+		m.stats.PeakResidentPages = m.usedPages
+	}
+	if m.capacityPages > 0 && m.capacityPages-m.usedPages < memdef.ChunkPages {
+		m.memoryFull = true
+	}
+	for _, p := range plan {
+		st := m.chunkState(p.Chunk())
+		st.inflight = st.inflight.Set(p.Index())
+	}
+
+	// Far-fault timing: fixed service latency (independent fault-handling
+	// threads overlap), then the migration transfer serializes on the link.
+	bytes := len(plan) * memdef.PageBytes
+	engine.After(m.eng, m.cfg.FaultServiceCycles(), func() {
+		m.link.Transfer(xbus.HostToDevice, bytes, func() {
+			m.commitMigration(plan)
+			m.migSlots.Release()
+		})
+	})
+}
+
+// wake schedules all waiters registered for page.
+func (m *Manager) wake(page memdef.PageNum) {
+	ws := m.waiters[page]
+	if len(ws) == 0 {
+		return
+	}
+	delete(m.waiters, page)
+	for _, w := range ws {
+		// Zero-delay event keeps wake-up ordering deterministic.
+		m.eng.Schedule(0, w)
+	}
+}
+
+// chunkState returns (allocating if needed) the state for chunk c.
+func (m *Manager) chunkState(c memdef.ChunkID) *chunkState {
+	st := m.chunks[c]
+	if st == nil {
+		st = &chunkState{}
+		m.chunks[c] = st
+	}
+	return st
+}
+
+// commitMigration maps the migrated pages, updates policy/prefetcher state,
+// and wakes the waiting warps.
+func (m *Manager) commitMigration(plan []memdef.PageNum) {
+	// Group by chunk to deliver one OnMigrate per chunk.
+	byChunk := make(map[memdef.ChunkID]memdef.PageBitmap)
+	for _, p := range plan {
+		m.table.Map(p, m.allocFrame())
+		st := m.chunkState(p.Chunk())
+		idx := p.Index()
+		st.inflight = st.inflight.Clear(idx)
+		st.resident = st.resident.Set(idx)
+		byChunk[p.Chunk()] = byChunk[p.Chunk()].Set(idx)
+	}
+	m.stats.MigratedPages += uint64(len(plan))
+	m.stats.MigratedChunks++
+	for c, mask := range byChunk {
+		m.policy.OnMigrate(c, mask)
+	}
+	m.pf.OnMigrate(plan)
+	for _, p := range plan {
+		m.wake(p)
+	}
+}
+
+// evictOne selects and evicts one victim chunk, returning false when no
+// victim is available. excludeChunk is the chunk of the pending fault.
+func (m *Manager) evictOne(excludeChunk memdef.ChunkID) bool {
+	victim, ok := m.policy.SelectVictim(func(c memdef.ChunkID) bool {
+		if c == excludeChunk {
+			return true
+		}
+		st := m.chunks[c]
+		return st == nil || st.inflight != 0 || st.resident == 0
+	})
+	if !ok {
+		return false
+	}
+	m.evictChunk(victim)
+	return true
+}
+
+// evictChunk unmaps every resident page of victim, shoots down TLBs, charges
+// dirty write-back, and notifies the policy and prefetcher.
+func (m *Manager) evictChunk(victim memdef.ChunkID) {
+	st := m.chunks[victim]
+	if st == nil || st.resident == 0 {
+		panic(fmt.Sprintf("uvm: evicting non-resident chunk %v", victim))
+	}
+	dirtyBytes := 0
+	n := 0
+	for _, idx := range st.resident.Indices() {
+		p := victim.Page(idx)
+		pte := m.table.Unmap(p)
+		m.freeFrame(pte.Frame)
+		if pte.Dirty {
+			dirtyBytes += memdef.PageBytes
+			m.stats.DirtyPagesWrittenBack++
+		}
+		m.l2tlb.Invalidate(p)
+		for _, l1 := range m.l1tlbs {
+			l1.Invalidate(p)
+		}
+		n++
+	}
+	untouch := (st.resident &^ st.touched).Count()
+	touched := st.resident & st.touched
+	m.usedPages -= n
+	m.stats.EvictedChunks++
+	m.stats.EvictedPages += uint64(n)
+	delete(m.chunks, victim)
+
+	m.policy.OnEvicted(victim, untouch)
+	m.pf.OnEvict(victim, touched, untouch)
+
+	if dirtyBytes > 0 {
+		m.link.Transfer(xbus.DeviceToHost, dirtyBytes, nil)
+	}
+
+	if m.cfg.ThrashAbortFactor > 0 && m.footprintPages > 0 &&
+		m.stats.EvictedPages > uint64(m.cfg.ThrashAbortFactor)*uint64(m.footprintPages) {
+		m.aborted = true
+	}
+}
+
+func (m *Manager) allocFrame() pagetable.FrameNum {
+	if n := len(m.freeFrames); n > 0 {
+		f := m.freeFrames[n-1]
+		m.freeFrames = m.freeFrames[:n-1]
+		return f
+	}
+	f := m.nextFrame
+	m.nextFrame++
+	return f
+}
+
+func (m *Manager) freeFrame(f pagetable.FrameNum) {
+	m.freeFrames = append(m.freeFrames, f)
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// TLBStats returns (aggregated L1, L2) TLB statistics.
+func (m *Manager) TLBStats() (l1 tlb.Stats, l2 tlb.Stats) {
+	for _, t := range m.l1tlbs {
+		s := t.Stats()
+		l1.Hits += s.Hits
+		l1.Misses += s.Misses
+		l1.Evictions += s.Evictions
+		l1.Shootdowns += s.Shootdowns
+	}
+	l1.Name = "l1tlb(all)"
+	return l1, m.l2tlb.Stats()
+}
+
+// WalkerStats returns the page-table walker statistics.
+func (m *Manager) WalkerStats() ptw.Stats { return m.walker.Stats() }
+
+// Policy exposes the eviction policy (for policy-specific stats).
+func (m *Manager) Policy() evict.Policy { return m.policy }
+
+// Prefetcher exposes the prefetcher (for prefetcher-specific stats).
+func (m *Manager) Prefetcher() prefetch.Prefetcher { return m.pf }

@@ -1,0 +1,19 @@
+package workload
+
+import "testing"
+
+// BenchmarkGenerate measures trace generation for a representative benchmark
+// of each archetype at the default scale.
+func BenchmarkGenerate(b *testing.B) {
+	for _, abbr := range []string{"2DC", "KMN", "NW", "SRD", "HIS", "B+T"} {
+		bench, _ := ByAbbr(abbr)
+		b.Run(abbr, func(b *testing.B) {
+			var accesses int
+			for i := 0; i < b.N; i++ {
+				tr := bench.Generate(Options{Scale: 0.25, Warps: 64})
+				accesses = tr.Accesses
+			}
+			b.ReportMetric(float64(accesses), "accesses")
+		})
+	}
+}

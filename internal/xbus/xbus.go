@@ -1,0 +1,83 @@
+// Package xbus models the CPU–GPU interconnect (PCIe in Table I): a duplex
+// link with 16 GB/s of bandwidth per direction, on which page migrations
+// (host-to-device), evicted-page write-backs (device-to-host) and fault
+// messages travel. Transfers in the same direction serialize; the two
+// directions are independent, matching full-duplex PCIe.
+package xbus
+
+import (
+	"github.com/reproductions/cppe/internal/engine"
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// Direction selects a link direction.
+type Direction int
+
+const (
+	// HostToDevice carries page migrations into GPU memory.
+	HostToDevice Direction = iota
+	// DeviceToHost carries evicted (dirty) pages back to system memory.
+	DeviceToHost
+)
+
+func (d Direction) String() string {
+	if d == DeviceToHost {
+		return "D2H"
+	}
+	return "H2D"
+}
+
+// Link is the modeled interconnect.
+type Link struct {
+	eng *engine.Engine
+	cfg memdef.Config
+	dir [2]*engine.Resource
+
+	bytesMoved [2]uint64
+	transfers  [2]uint64
+}
+
+// New returns an idle link.
+func New(eng *engine.Engine, cfg memdef.Config) *Link {
+	return &Link{
+		eng: eng,
+		cfg: cfg,
+		dir: [2]*engine.Resource{
+			engine.NewResource(eng, "pcie-h2d"),
+			engine.NewResource(eng, "pcie-d2h"),
+		},
+	}
+}
+
+// Transfer books a transfer of n bytes in direction d, starting now (or when
+// the link frees up), and invokes done at completion. It returns the
+// completion cycle. Zero-byte transfers complete immediately.
+func (l *Link) Transfer(d Direction, n int, done func()) memdef.Cycle {
+	dur := l.cfg.TransferCycles(n, l.cfg.PCIeGBs)
+	finish := l.dir[d].Acquire(dur)
+	l.bytesMoved[d] += uint64(n)
+	l.transfers[d]++
+	if done != nil {
+		l.eng.ScheduleAt(finish, done)
+	}
+	return finish
+}
+
+// Stats is a snapshot of link counters.
+type Stats struct {
+	BytesH2D, BytesD2H         uint64
+	TransfersH2D, TransfersD2H uint64
+	BusyH2D, BusyD2H           memdef.Cycle
+}
+
+// Stats returns the counters.
+func (l *Link) Stats() Stats {
+	return Stats{
+		BytesH2D:     l.bytesMoved[HostToDevice],
+		BytesD2H:     l.bytesMoved[DeviceToHost],
+		TransfersH2D: l.transfers[HostToDevice],
+		TransfersD2H: l.transfers[DeviceToHost],
+		BusyH2D:      l.dir[HostToDevice].BusyCycles(),
+		BusyD2H:      l.dir[DeviceToHost].BusyCycles(),
+	}
+}

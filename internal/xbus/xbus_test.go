@@ -1,0 +1,108 @@
+package xbus
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/engine"
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+func TestTransferSerializesPerDirection(t *testing.T) {
+	e := engine.New()
+	cfg := memdef.DefaultConfig()
+	l := New(e, cfg)
+	page := cfg.TransferCycles(memdef.PageBytes, cfg.PCIeGBs)
+	var a, b memdef.Cycle
+	e.Schedule(0, func() {
+		a = l.Transfer(HostToDevice, memdef.PageBytes, nil)
+		b = l.Transfer(HostToDevice, memdef.PageBytes, nil)
+	})
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if a != page || b != 2*page {
+		t.Fatalf("H2D transfers = %d, %d; want %d, %d", a, b, page, 2*page)
+	}
+}
+
+func TestDuplexDirectionsIndependent(t *testing.T) {
+	e := engine.New()
+	cfg := memdef.DefaultConfig()
+	l := New(e, cfg)
+	page := cfg.TransferCycles(memdef.PageBytes, cfg.PCIeGBs)
+	var h2d, d2h memdef.Cycle
+	e.Schedule(0, func() {
+		h2d = l.Transfer(HostToDevice, memdef.PageBytes, nil)
+		d2h = l.Transfer(DeviceToHost, memdef.PageBytes, nil)
+	})
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if h2d != page || d2h != page {
+		t.Fatalf("duplex directions serialized: %d, %d", h2d, d2h)
+	}
+}
+
+func TestDoneCallbackTiming(t *testing.T) {
+	e := engine.New()
+	cfg := memdef.DefaultConfig()
+	l := New(e, cfg)
+	var doneAt memdef.Cycle
+	var finish memdef.Cycle
+	e.Schedule(100, func() {
+		finish = l.Transfer(DeviceToHost, memdef.ChunkBytes, func() { doneAt = e.Now() })
+	})
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if doneAt != finish || doneAt <= 100 {
+		t.Fatalf("done at %d, finish %d", doneAt, finish)
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	e := engine.New()
+	l := New(e, memdef.DefaultConfig())
+	fired := false
+	e.Schedule(7, func() {
+		if got := l.Transfer(HostToDevice, 0, func() { fired = true }); got != 7 {
+			t.Errorf("zero transfer completes at %d, want 7", got)
+		}
+	})
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("done not fired for zero-byte transfer")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	e := engine.New()
+	cfg := memdef.DefaultConfig()
+	l := New(e, cfg)
+	e.Schedule(0, func() {
+		l.Transfer(HostToDevice, memdef.ChunkBytes, nil)
+		l.Transfer(HostToDevice, memdef.PageBytes, nil)
+		l.Transfer(DeviceToHost, memdef.PageBytes, nil)
+	})
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	s := l.Stats()
+	if s.BytesH2D != memdef.ChunkBytes+memdef.PageBytes || s.TransfersH2D != 2 {
+		t.Fatalf("H2D stats = %+v", s)
+	}
+	if s.BytesD2H != memdef.PageBytes || s.TransfersD2H != 1 {
+		t.Fatalf("D2H stats = %+v", s)
+	}
+	if s.BusyH2D <= s.BusyD2H {
+		t.Fatalf("H2D busy (%d) should exceed D2H busy (%d)", s.BusyH2D, s.BusyD2H)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if HostToDevice.String() != "H2D" || DeviceToHost.String() != "D2H" {
+		t.Fatal("direction strings wrong")
+	}
+}
