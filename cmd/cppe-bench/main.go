@@ -6,6 +6,8 @@
 //	cppe-bench -exp fig8           # one experiment
 //	cppe-bench -list               # list experiment ids
 //	cppe-bench -scale 0.1 -exp fig3
+//	cppe-bench -exp fig8 -json BENCH_engine.json   # machine-readable perf report
+//	cppe-bench -exp fig8 -cpuprofile cpu.pprof     # profile the experiment runs
 //
 // Output is aligned text; simulation results are cached within one
 // invocation, so experiments that share runs (e.g. the Fig. 9 pair) do not
@@ -13,15 +15,113 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"testing"
 	"time"
 
 	cppe "github.com/reproductions/cppe"
+	"github.com/reproductions/cppe/internal/engine"
+	"github.com/reproductions/cppe/internal/memdef"
 )
+
+// benchResult is one microbenchmark's measurement in the -json report.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// expResult is one experiment's wall time in the -json report.
+type expResult struct {
+	ID         string  `json:"id"`
+	WallMs     float64 `json:"wall_ms"`
+	CachedRuns int     `json:"cached_runs_after"`
+}
+
+// jsonReport is the machine-readable output of -json: environment metadata,
+// the engine microbenchmarks, and per-experiment wall times.
+type jsonReport struct {
+	GoVersion   string                 `json:"go_version"`
+	GOOS        string                 `json:"goos"`
+	GOARCH      string                 `json:"goarch"`
+	NumCPU      int                    `json:"num_cpu"`
+	Scale       float64                `json:"scale"`
+	Warps       int                    `json:"warps"`
+	Engine      map[string]benchResult `json:"engine"`
+	Experiments []expResult            `json:"experiments"`
+}
+
+func toBenchResult(r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// engineBenches runs the scheduler microbenchmarks in-process, mirroring
+// internal/engine's benchmark suite: the closure path, the pooled arg path,
+// and the far-future overflow tier.
+func engineBenches() map[string]benchResult {
+	out := map[string]benchResult{}
+	out["schedule_run"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := engine.New()
+		left := b.N
+		var tick func()
+		tick = func() {
+			left--
+			if left > 0 {
+				e.Schedule(1, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		b.ResetTimer()
+		if _, err := e.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}))
+	out["schedule_run_arg"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := engine.New()
+		var tick func(uint64)
+		tick = func(left uint64) {
+			if left > 0 {
+				e.ScheduleArg(1, tick, left-1)
+			}
+		}
+		e.ScheduleArg(0, tick, uint64(b.N))
+		b.ResetTimer()
+		if _, err := e.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}))
+	out["schedule_overflow"] = toBenchResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		e := engine.New()
+		var tick func(uint64)
+		tick = func(left uint64) {
+			if left > 0 {
+				e.ScheduleArg(5000+memdef.Cycle(left%1000), tick, left-1)
+			}
+		}
+		e.ScheduleArg(0, tick, uint64(b.N))
+		b.ResetTimer()
+		if _, err := e.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+	}))
+	return out
+}
 
 // writeCSV stores one experiment's table as <dir>/<id>.csv.
 func writeCSV(s *cppe.Session, dir, id string) error {
@@ -53,6 +153,10 @@ func main() {
 		sysCfg  = flag.String("config", "", "JSON file overriding Table-I system parameters")
 		dumpCfg = flag.Bool("dump-config", false, "print the default system configuration as JSON and exit")
 		check   = flag.Bool("check", false, "run the claims self-check and exit non-zero if any claim fails")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the experiment runs to this file")
+		jsonOut    = flag.String("json", "", "write a machine-readable report (engine microbenchmarks + per-experiment wall times) to this file")
 	)
 	flag.Parse()
 
@@ -98,10 +202,24 @@ func main() {
 		return
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	ids := cppe.Experiments()
 	if *exp != "" {
 		ids = []string{*exp}
 	}
+	var expTimes []expResult
 	for _, id := range ids {
 		t0 := time.Now()
 		var out string
@@ -127,8 +245,62 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		expTimes = append(expTimes, expResult{
+			ID:         id,
+			WallMs:     float64(time.Since(t0).Microseconds()) / 1000,
+			CachedRuns: s.CachedRuns(),
+		})
 		if *verbose {
 			fmt.Printf("[%s: %v, %d cached simulations]\n\n", id, time.Since(t0).Round(time.Millisecond), s.CachedRuns())
+		}
+	}
+
+	if *cpuprofile != "" {
+		// Stop before the microbenchmarks so the profile covers only the
+		// experiment runs (the deferred stop then becomes a no-op).
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if *jsonOut != "" {
+		effScale := *scale
+		if effScale == 0 {
+			effScale = 0.25
+		}
+		effWarps := *warps
+		if effWarps == 0 {
+			effWarps = 64
+		}
+		rep := jsonReport{
+			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
+			NumCPU:      runtime.NumCPU(),
+			Scale:       effScale,
+			Warps:       effWarps,
+			Engine:      engineBenches(),
+			Experiments: expTimes,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-bench:", err)
+			os.Exit(1)
 		}
 	}
 }

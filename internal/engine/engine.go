@@ -6,48 +6,75 @@
 // An Engine is single-goroutine: components schedule closures and the owner
 // drains the queue with Run. Determinism is guaranteed — two events scheduled
 // for the same cycle fire in scheduling order.
+//
+// Internally the queue is a two-tier bucket scheduler. Events landing within
+// the next ringWindow cycles go into a ring of per-cycle FIFO buckets (O(1)
+// push and pop, no comparisons); events further out go into an overflow
+// min-heap ordered by (cycle, seq). Event nodes are pooled on a free list, so
+// the steady-state hot path performs no heap allocation. See the
+// "Performance" section of DESIGN.md for the sizing and the determinism
+// argument.
 package engine
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 
 	"github.com/reproductions/cppe/internal/memdef"
 )
 
-// Event is a scheduled closure.
-type event struct {
+// ringWindow is the near-future window, in cycles, covered by the bucket
+// ring. It must be a power of two. The window is sized to cover the common
+// scheduling distances of this simulator — TLB/cache/DRAM latencies and
+// compute gaps from Table I are all well under 4096 cycles — so only rare
+// far-future events (the 20 µs fault service latency, congested-link
+// completions) pay for the overflow heap.
+const ringWindow = 4096
+
+const ringMask = ringWindow - 1
+
+// eventNode is one scheduled callback. Nodes are pooled: after an event
+// fires, its node returns to the engine's free list.
+type eventNode struct {
 	at  memdef.Cycle
 	seq uint64
-	fn  func()
+	// Exactly one of fn / argFn is set. argFn+arg is the non-capturing
+	// variant used by hot callers to avoid per-event closure allocation.
+	fn    func()
+	argFn func(uint64)
+	arg   uint64
+	next  *eventNode
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// bucket is one per-cycle FIFO list in the ring.
+type bucket struct {
+	head, tail *eventNode
 }
 
 // Engine is a deterministic discrete-event scheduler.
 type Engine struct {
-	now    memdef.Cycle
-	seq    uint64
-	queue  eventHeap
-	fired  uint64
-	budget uint64 // optional hard cap on events per Run; 0 = unlimited
+	now     memdef.Cycle
+	seq     uint64
+	fired   uint64
+	budget  uint64 // optional hard cap on events per Run; 0 = unlimited
+	pending int
+
+	// ring holds events with at in [now, now+ringWindow), bucketed by
+	// at&ringMask. Because ring events always satisfy that half-open bound
+	// (scheduling only ever sees a non-decreasing now), a slot holds events
+	// of exactly one cycle at a time.
+	ring      [ringWindow]bucket
+	ringBits  [ringWindow / 64]uint64 // occupancy bitmap over ring slots
+	ringCount int
+
+	// overflow holds events at or beyond now+ringWindow, ordered by
+	// (at, seq). For any cycle T, every overflow event precedes (in seq)
+	// every ring event, because entering the ring requires a strictly later
+	// scheduling time; popping the heap before the bucket therefore
+	// preserves global FIFO tie-breaking.
+	overflow []*eventNode
+
+	free *eventNode // node pool
 }
 
 // New returns an empty engine at cycle 0.
@@ -62,11 +89,43 @@ func (e *Engine) Now() memdef.Cycle { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.pending }
 
 // SetEventBudget installs a hard cap on the number of events a single Run may
 // fire; exceeding it makes Run return ErrBudget. Zero disables the cap.
 func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
+
+func (e *Engine) alloc() *eventNode {
+	n := e.free
+	if n == nil {
+		return &eventNode{}
+	}
+	e.free = n.next
+	n.next = nil
+	return n
+}
+
+// insert enqueues n at absolute cycle at (>= now).
+func (e *Engine) insert(n *eventNode, at memdef.Cycle) {
+	e.seq++
+	n.at = at
+	n.seq = e.seq
+	e.pending++
+	if at-e.now < ringWindow {
+		s := int(at & ringMask)
+		b := &e.ring[s]
+		if b.head == nil {
+			b.head = n
+			e.ringBits[s>>6] |= 1 << uint(s&63)
+			e.ringCount++
+		} else {
+			b.tail.next = n
+		}
+		b.tail = n
+		return
+	}
+	e.heapPush(n)
+}
 
 // Schedule runs fn after delay cycles (possibly zero, meaning "later this
 // cycle, after already-queued same-cycle events").
@@ -74,8 +133,23 @@ func (e *Engine) Schedule(delay memdef.Cycle, fn func()) {
 	if fn == nil {
 		panic("engine: Schedule called with nil fn")
 	}
-	e.seq++
-	heap.Push(&e.queue, event{at: e.now + delay, seq: e.seq, fn: fn})
+	n := e.alloc()
+	n.fn = fn
+	e.insert(n, e.now+delay)
+}
+
+// ScheduleArg runs fn(arg) after delay cycles. It is the allocation-free
+// variant of Schedule for hot callers: fn is typically a long-lived callback
+// stored once by the component, and arg carries the per-event state, so no
+// closure is created per event.
+func (e *Engine) ScheduleArg(delay memdef.Cycle, fn func(uint64), arg uint64) {
+	if fn == nil {
+		panic("engine: ScheduleArg called with nil fn")
+	}
+	n := e.alloc()
+	n.argFn = fn
+	n.arg = arg
+	e.insert(n, e.now+delay)
 }
 
 // ScheduleAt runs fn at absolute cycle at. Scheduling in the past panics:
@@ -84,7 +158,75 @@ func (e *Engine) ScheduleAt(at memdef.Cycle, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("engine: ScheduleAt(%d) in the past (now=%d)", at, e.now))
 	}
-	e.Schedule(at-e.now, fn)
+	if fn == nil {
+		panic("engine: ScheduleAt called with nil fn")
+	}
+	n := e.alloc()
+	n.fn = fn
+	e.insert(n, at)
+}
+
+// ScheduleArgAt is ScheduleAt's allocation-free variant (see ScheduleArg).
+func (e *Engine) ScheduleArgAt(at memdef.Cycle, fn func(uint64), arg uint64) {
+	if at < e.now {
+		panic(fmt.Sprintf("engine: ScheduleArgAt(%d) in the past (now=%d)", at, e.now))
+	}
+	if fn == nil {
+		panic("engine: ScheduleArgAt called with nil fn")
+	}
+	n := e.alloc()
+	n.argFn = fn
+	n.arg = arg
+	e.insert(n, at)
+}
+
+// nextRing returns the earliest cycle with a ring event. Ring slots ascend in
+// time when scanned circularly from now's slot, so the first occupied slot in
+// that order is the earliest.
+func (e *Engine) nextRing() (memdef.Cycle, int) {
+	start := int(e.now & ringMask)
+	w := start >> 6
+	word := e.ringBits[w] >> uint(start&63) << uint(start&63) // mask off slots before start
+	for i := 0; i < len(e.ringBits)+1; i++ {
+		if word != 0 {
+			s := w<<6 + bits.TrailingZeros64(word)
+			return e.ring[s].head.at, s
+		}
+		w++
+		if w == len(e.ringBits) {
+			w = 0
+		}
+		word = e.ringBits[w]
+		if w == start>>6 {
+			// Wrapped: only slots before start remain in this word.
+			word &= 1<<uint(start&63) - 1
+		}
+	}
+	panic("engine: ringCount > 0 but no occupied slot")
+}
+
+// popNext removes and returns the globally next event in (at, seq) order.
+func (e *Engine) popNext() *eventNode {
+	if e.ringCount == 0 {
+		return e.heapPop()
+	}
+	at, s := e.nextRing()
+	if len(e.overflow) > 0 && e.overflow[0].at <= at {
+		// An overflow event at the same cycle always precedes ring events of
+		// that cycle (strictly smaller seq; see the overflow invariant).
+		return e.heapPop()
+	}
+	b := &e.ring[s]
+	n := b.head
+	b.head = n.next
+	if b.head == nil {
+		b.tail = nil
+		e.ringBits[s>>6] &^= 1 << uint(s&63)
+		e.ringCount--
+	}
+	n.next = nil
+	e.pending--
+	return n
 }
 
 // ErrBudget is returned by Run when the event budget is exhausted, which in
@@ -92,26 +234,94 @@ func (e *Engine) ScheduleAt(at memdef.Cycle, fn func()) {
 var ErrBudget = fmt.Errorf("engine: event budget exhausted")
 
 // Run drains the event queue until it is empty or until done returns true
-// (checked between events; done may be nil). It returns the cycle at which
-// execution stopped.
+// (checked between events; done may be nil — and consulted again even when
+// the queue transiently empties and the final event refills it, so an event
+// that both satisfies done and schedules follow-up work does not leak the
+// follow-up into this Run). It returns the cycle at which execution stopped.
+//
+// When the event budget is exhausted mid-cascade (several events at the same
+// cycle), now stays at the cycle of the last fired event and the remaining
+// events stay queued in order; a subsequent Run resumes exactly where this
+// one stopped.
 func (e *Engine) Run(done func() bool) (memdef.Cycle, error) {
 	start := e.fired
-	for len(e.queue) > 0 {
+	for e.pending > 0 {
 		if done != nil && done() {
 			return e.now, nil
 		}
 		if e.budget != 0 && e.fired-start >= e.budget {
 			return e.now, ErrBudget
 		}
-		ev := heap.Pop(&e.queue).(event)
-		if ev.at < e.now {
+		n := e.popNext()
+		if n.at < e.now {
 			panic("engine: event time went backwards")
 		}
-		e.now = ev.at
+		e.now = n.at
 		e.fired++
-		ev.fn()
+		// Copy the callback out and recycle the node before invoking it: the
+		// callback may schedule new events, which can then reuse this node.
+		fn, argFn, arg := n.fn, n.argFn, n.arg
+		n.fn, n.argFn, n.arg = nil, nil, 0
+		n.next = e.free
+		e.free = n
+		if fn != nil {
+			fn()
+		} else {
+			argFn(arg)
+		}
 	}
 	return e.now, nil
+}
+
+// heapPush pushes n onto the overflow heap, ordered by (at, seq).
+func (e *Engine) heapPush(n *eventNode) {
+	h := append(e.overflow, n)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.overflow = h
+}
+
+// heapPop removes the minimum (at, seq) node from the overflow heap.
+func (e *Engine) heapPop() *eventNode {
+	h := e.overflow
+	n := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h) {
+			break
+		}
+		c := l
+		if r < len(h) && eventLess(h[r], h[l]) {
+			c = r
+		}
+		if !eventLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	e.overflow = h
+	e.pending--
+	return n
+}
+
+func eventLess(a, b *eventNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
 // Resource models a serially shared unit (a bus, a DRAM channel, a port):

@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+)
+
+// stripKey zeroes the fields that identify rather than measure a run, so two
+// Results can be compared for simulation-level equality.
+func stripKey(r Result) Result {
+	r.Key = Key{}
+	return r
+}
+
+// TestDeterminismRepeatedRuns runs the same mid-size simulation twice in
+// fresh sessions and once in a session with different Parallelism, asserting
+// bit-identical results. This is the regression guard for the event core:
+// the bucketed scheduler, event pooling, and dense UVM state must preserve
+// exact (cycle, seq) execution order, and Parallelism may only change how
+// independent simulations are fanned out, never what any one of them does.
+func TestDeterminismRepeatedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	key := Key{Bench: "SRD", Setup: "cppe", OversubPct: 50}
+	cfg := Config{Scale: 0.05, Warps: 32, Parallelism: 4}
+
+	first := NewSession(cfg).Run(key)
+	second := NewSession(cfg).Run(key)
+
+	cfgP1 := cfg
+	cfgP1.Parallelism = 1
+	third := NewSession(cfgP1).Run(key)
+
+	if first.Cycles == 0 || first.Accesses == 0 {
+		t.Fatalf("degenerate run: %+v", first)
+	}
+	if !reflect.DeepEqual(stripKey(first), stripKey(second)) {
+		t.Errorf("same config, fresh session diverged:\n run1: %+v\n run2: %+v", first, second)
+	}
+	if !reflect.DeepEqual(stripKey(first), stripKey(third)) {
+		t.Errorf("Parallelism=1 diverged from Parallelism=4:\n run1: %+v\n run3: %+v", first, third)
+	}
+}
+
+// TestDeterminismAcrossSetups repeats the check for the baseline setup (the
+// other main code path: no prefetch planning, LRU eviction), catching
+// nondeterminism that only one policy configuration exercises.
+func TestDeterminismAcrossSetups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	key := Key{Bench: "BKP", Setup: "baseline", OversubPct: 75}
+	cfg := Config{Scale: 0.05, Warps: 32, Parallelism: 4}
+	a := NewSession(cfg).Run(key)
+	b := NewSession(cfg).Run(key)
+	if a.Cycles == 0 {
+		t.Fatalf("degenerate run: %+v", a)
+	}
+	if !reflect.DeepEqual(stripKey(a), stripKey(b)) {
+		t.Errorf("baseline run diverged:\n run1: %+v\n run2: %+v", a, b)
+	}
+}

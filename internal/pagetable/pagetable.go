@@ -42,21 +42,24 @@ type node struct {
 	children [fanout]*node // interior levels
 	leaves   []PTE         // level-0 only, allocated lazily
 	present  []bool
+	// id is the node's pseudo physical identity, assigned lazily on the
+	// walker's first visit (see nodeID); 0 means not yet assigned. Keeping it
+	// in the node replaces a map[*node]uint64 lookup on every walk level.
+	id uint64
 }
 
 // Table is a 4-level radix page table.
 type Table struct {
 	root   node
 	mapped int
-	// NodeAddr assigns each directory node a pseudo physical address so the
+	// nextNodeID assigns each directory node a pseudo physical address so the
 	// walker's per-level accesses have distinct cache-visible addresses.
 	nextNodeID uint64
-	nodeIDs    map[*node]uint64
 }
 
 // New returns an empty table.
 func New() *Table {
-	return &Table{nodeIDs: make(map[*node]uint64)}
+	return &Table{}
 }
 
 // indexAt extracts the level-l index (l = Levels-1 is the root) of page p.
@@ -143,12 +146,17 @@ type WalkStep struct {
 // is what discovers the fault); levels whose directory node does not exist
 // yet are still charged one access (reading the non-present entry).
 func (t *Table) WalkPath(p memdef.PageNum) []WalkStep {
-	steps := make([]WalkStep, 0, Levels)
+	return t.AppendWalkPath(make([]WalkStep, 0, Levels), p)
+}
+
+// AppendWalkPath is WalkPath appending into dst, for callers that reuse a
+// step buffer across walks (the page-table walker's hot path).
+func (t *Table) AppendWalkPath(dst []WalkStep, p memdef.PageNum) []WalkStep {
 	n := &t.root
 	for l := Levels - 1; l >= 0; l-- {
 		id := t.nodeID(n)
 		idx := indexAt(p, l)
-		steps = append(steps, WalkStep{
+		dst = append(dst, WalkStep{
 			Level:     l,
 			EntryAddr: memdef.VirtAddr(id<<24 | uint64(idx)<<3),
 		})
@@ -164,16 +172,18 @@ func (t *Table) WalkPath(p memdef.PageNum) []WalkStep {
 		}
 		n = next
 	}
-	return steps
+	return dst
 }
 
+// nodeID assigns IDs on first visit — walk order, not allocation order — so
+// the pseudo-address stream (and thus PWC behaviour) is identical to the
+// historical map-based assignment.
 func (t *Table) nodeID(n *node) uint64 {
-	if id, ok := t.nodeIDs[n]; ok {
-		return id
+	if n.id == 0 {
+		t.nextNodeID++
+		n.id = t.nextNodeID
 	}
-	t.nextNodeID++
-	t.nodeIDs[n] = t.nextNodeID
-	return t.nextNodeID
+	return n.id
 }
 
 func (t *Table) walkAlloc(p memdef.PageNum) *node {

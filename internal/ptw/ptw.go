@@ -7,6 +7,10 @@
 // GPU memory hierarchy (the walker is wired to the shared L2 / DRAM by the
 // GMMU). A walk that reaches a non-present leaf reports a page fault to its
 // caller; the fault itself is handled by the UVM driver, not here.
+//
+// Walk contexts are pooled: each context owns its stage callbacks (built once
+// when the context is first created) and a reusable step buffer, so a walk
+// performs no per-level allocation.
 package ptw
 
 import (
@@ -22,6 +26,31 @@ type MemAccessor interface {
 	Access(a memdef.VirtAddr, kind memdef.AccessKind, done func())
 }
 
+// walkState is one pooled in-flight walk.
+type walkState struct {
+	w     *Walker
+	p     memdef.PageNum
+	steps []pagetable.WalkStep
+	i     int
+	start memdef.Cycle
+	done  func(Result)
+	next  *walkState
+
+	granted func() // a walker slot was acquired: start the walk
+	stage   func() // PWC probe of level steps[i]
+	memDone func() // PWC-miss memory read returned
+}
+
+// advance moves to the next level, or finishes the walk.
+func (x *walkState) advance() {
+	x.i++
+	if x.i >= len(x.steps) {
+		x.w.finish(x)
+		return
+	}
+	engine.After(x.w.eng, x.w.cfg.PWCLatency, x.stage)
+}
+
 // Walker is the shared page-table walker.
 type Walker struct {
 	eng   *engine.Engine
@@ -30,6 +59,7 @@ type Walker struct {
 	pwc   *cache.Cache
 	slots *engine.Semaphore
 	mem   MemAccessor
+	free  *walkState
 
 	walks     uint64
 	faults    uint64
@@ -58,46 +88,59 @@ type Result struct {
 	Frame  pagetable.FrameNum
 }
 
+// get pops (or builds) a walk context.
+func (w *Walker) get() *walkState {
+	x := w.free
+	if x == nil {
+		x = &walkState{w: w, steps: make([]pagetable.WalkStep, 0, pagetable.Levels)}
+		x.granted = func() {
+			x.w.walks++
+			x.steps = x.w.table.AppendWalkPath(x.steps[:0], x.p)
+			x.i = -1
+			x.advance()
+		}
+		x.stage = func() {
+			s := x.steps[x.i]
+			// Every level access costs one PWC probe.
+			if x.w.pwc.Access(s.EntryAddr, memdef.Read).Hit {
+				x.w.pwcHits++
+				x.advance()
+				return
+			}
+			x.w.pwcMisses++
+			x.w.memReads++
+			x.w.mem.Access(s.EntryAddr, memdef.Read, x.memDone)
+		}
+		x.memDone = x.advance
+		return x
+	}
+	w.free = x.next
+	x.next = nil
+	return x
+}
+
 // Walk starts a page-table walk for page p. done is invoked when the walk
 // finishes, with the outcome. Walks beyond the concurrency limit queue FIFO.
 func (w *Walker) Walk(p memdef.PageNum, done func(Result)) {
-	start := w.eng.Now()
-	w.slots.Acquire(func() {
-		w.walks++
-		steps := w.table.WalkPath(p)
-		w.step(p, steps, 0, start, done)
-	})
+	x := w.get()
+	x.p = p
+	x.done = done
+	x.start = w.eng.Now()
+	w.slots.Acquire(x.granted)
 }
 
-func (w *Walker) step(p memdef.PageNum, steps []pagetable.WalkStep, i int, start memdef.Cycle, done func(Result)) {
-	if i >= len(steps) {
-		w.finish(p, start, done)
-		return
-	}
-	s := steps[i]
-	// Every level access costs one PWC probe.
-	engine.After(w.eng, w.cfg.PWCLatency, func() {
-		if w.pwc.Access(s.EntryAddr, memdef.Read).Hit {
-			w.pwcHits++
-			w.step(p, steps, i+1, start, done)
-			return
-		}
-		w.pwcMisses++
-		w.memReads++
-		w.mem.Access(s.EntryAddr, memdef.Read, func() {
-			w.step(p, steps, i+1, start, done)
-		})
-	})
-}
-
-func (w *Walker) finish(p memdef.PageNum, start memdef.Cycle, done func(Result)) {
-	w.totalLat += w.eng.Now() - start
-	frame := w.table.Lookup(p)
+func (w *Walker) finish(x *walkState) {
+	w.totalLat += w.eng.Now() - x.start
+	frame := w.table.Lookup(x.p)
 	res := Result{Mapped: frame != pagetable.InvalidFrame, Frame: frame}
 	if !res.Mapped {
 		w.faults++
 	}
 	w.slots.Release()
+	done := x.done
+	x.done = nil
+	x.next = w.free
+	w.free = x
 	done(res)
 }
 

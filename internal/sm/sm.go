@@ -8,6 +8,11 @@
 // whole GPU — keeps executing other warps. This is the execution-model
 // abstraction the paper's fault-overhead analysis relies on: with page faults
 // costing ~28,000 cycles, pipeline detail below the warp level is noise.
+//
+// The per-access pipeline is allocation-free on the hot path: each warp has
+// exactly one access in flight, so its stage callbacks are built once at
+// construction and carry their state in warp fields; the shared L2/DRAM path
+// pools its request contexts the same way.
 package sm
 
 import (
@@ -23,6 +28,18 @@ import (
 	"github.com/reproductions/cppe/internal/xbus"
 )
 
+// memReq is one pooled request context for the shared L2/DRAM path: the
+// callback closure is created once per node and reads its operands from the
+// node, so a request costs no allocation after the pool warms up.
+type memReq struct {
+	mp   *memPath
+	a    memdef.VirtAddr
+	kind memdef.AccessKind
+	done func()
+	run  func()
+	next *memReq
+}
+
 // memPath is the shared L2-cache + DRAM data path, used by SM data accesses
 // (after their private L1) and by the page-table walker.
 type memPath struct {
@@ -30,30 +47,59 @@ type memPath struct {
 	cfg  memdef.Config
 	l2   *cache.Cache
 	dram *dram.DRAM
+	free *memReq
 }
 
 // Access implements ptw.MemAccessor: L2 lookup, then DRAM on a miss.
 func (mp *memPath) Access(a memdef.VirtAddr, kind memdef.AccessKind, done func()) {
-	engine.After(mp.eng, mp.cfg.L2HitLatency, func() {
-		res := mp.l2.Access(a, kind)
-		if res.WritebackVictim {
-			// Dirty victim drains to DRAM off the critical path.
-			mp.dram.Access(a, memdef.Write, nil)
-		}
-		if res.Hit {
-			done()
-			return
-		}
-		mp.dram.Access(a, kind, done)
-	})
+	rq := mp.free
+	if rq == nil {
+		rq = &memReq{mp: mp}
+		rq.run = rq.l2Stage
+	} else {
+		mp.free = rq.next
+		rq.next = nil
+	}
+	rq.a, rq.kind, rq.done = a, kind, done
+	engine.After(mp.eng, mp.cfg.L2HitLatency, rq.run)
+}
+
+// l2Stage performs the L2 probe (and DRAM access on a miss). It copies its
+// operands out and releases the node first, so re-entrant Access calls from
+// the completion callback can reuse it.
+func (rq *memReq) l2Stage() {
+	mp, a, kind, done := rq.mp, rq.a, rq.kind, rq.done
+	rq.done = nil
+	rq.next = mp.free
+	mp.free = rq
+	res := mp.l2.Access(a, kind)
+	if res.WritebackVictim {
+		// Dirty victim drains to DRAM off the critical path.
+		mp.dram.Access(a, memdef.Write, nil)
+	}
+	if res.Hit {
+		done()
+		return
+	}
+	mp.dram.Access(a, kind, done)
 }
 
 // Warp is one in-flight access stream.
 type warp struct {
 	id    memdef.WarpID
+	gid   uint64 // index into Machine.allWarps, the ScheduleArg handle
 	sm    *SM
 	trace []memdef.Access
 	pos   int
+
+	// In-flight access state (one access outstanding per warp), read by the
+	// per-warp stage callbacks below, which are built once in NewMachine.
+	acc   memdef.Access
+	issue memdef.Cycle
+
+	translated func() // MMU translation done -> start the data access
+	l1Stage    func() // L1 data-cache probe, after the L1 hit latency
+	finished   func() // data access complete -> account and schedule next step
 }
 
 // SM is one streaming multiprocessor.
@@ -78,6 +124,8 @@ type Machine struct {
 	SMs  []*SM
 
 	mp          *memPath
+	allWarps    []*warp
+	stepWarp    func(uint64) // shared ScheduleArg trampoline: allWarps[g].step()
 	activeWarps int
 	finished    memdef.Cycle
 }
@@ -101,6 +149,7 @@ func NewMachine(cfg memdef.Config, pol evict.Policy, pf prefetch.Prefetcher, tra
 	mmu := uvm.New(eng, cfg, link, pol, pf, mp)
 
 	m := &Machine{Eng: eng, Cfg: cfg, L2: l2, DRAM: dr, Link: link, MMU: mmu, mp: mp}
+	m.stepWarp = func(g uint64) { m.allWarps[g].step() }
 	for i := 0; i < cfg.NumSMs; i++ {
 		s := &SM{
 			id:      memdef.SMID(i),
@@ -116,11 +165,31 @@ func NewMachine(cfg memdef.Config, pol evict.Policy, pf prefetch.Prefetcher, tra
 			continue
 		}
 		s := m.SMs[wi%cfg.NumSMs]
-		s.warps = append(s.warps, &warp{
+		w := &warp{
 			id:    memdef.WarpID(wi),
+			gid:   uint64(len(m.allWarps)),
 			sm:    s,
 			trace: tr,
-		})
+		}
+		w.translated = func() { engine.After(m.Eng, m.Cfg.L1HitLatency, w.l1Stage) }
+		w.l1Stage = func() {
+			res := s.l1.Access(w.acc.Addr, w.acc.Kind)
+			if res.WritebackVictim {
+				m.DRAM.Access(w.acc.Addr, memdef.Write, nil)
+			}
+			if res.Hit {
+				w.finished()
+				return
+			}
+			m.mp.Access(w.acc.Addr, w.acc.Kind, w.finished)
+		}
+		w.finished = func() {
+			w.sm.accessesDone++
+			w.sm.stallCycles += m.Eng.Now() - w.issue
+			m.Eng.ScheduleArg(m.Cfg.ComputeGapCycles, m.stepWarp, w.gid)
+		}
+		s.warps = append(s.warps, w)
+		m.allWarps = append(m.allWarps, w)
 		m.activeWarps++
 	}
 	return m
@@ -147,10 +216,11 @@ func (m *Machine) Run(maxEvents uint64) Result {
 		maxEvents = 2_000_000_000
 	}
 	m.Eng.SetEventBudget(maxEvents)
+	// SM-major order: each SM's warps are seeded back-to-back, preserving the
+	// deterministic same-cycle FIFO order the golden results were pinned with.
 	for _, s := range m.SMs {
 		for _, w := range s.warps {
-			w := w
-			m.Eng.Schedule(0, w.step)
+			m.Eng.ScheduleArg(0, m.stepWarp, w.gid)
 		}
 	}
 	_, err := m.Eng.Run(func() bool { return m.MMU.Aborted() })
@@ -171,34 +241,10 @@ func (w *warp) step() {
 		w.sm.machine.activeWarps--
 		return
 	}
-	acc := w.trace[w.pos]
+	w.acc = w.trace[w.pos]
 	w.pos++
-	issue := w.sm.machine.Eng.Now()
-	w.sm.machine.MMU.Translate(w.sm.id, acc, func() {
-		w.sm.dataAccess(acc, func() {
-			now := w.sm.machine.Eng.Now()
-			w.sm.accessesDone++
-			w.sm.stallCycles += now - issue
-			engine.After(w.sm.machine.Eng, w.sm.machine.Cfg.ComputeGapCycles, w.step)
-		})
-	})
-}
-
-// dataAccess runs the post-translation data path: private L1, then the
-// shared L2/DRAM path.
-func (s *SM) dataAccess(acc memdef.Access, done func()) {
-	m := s.machine
-	engine.After(m.Eng, m.Cfg.L1HitLatency, func() {
-		res := s.l1.Access(acc.Addr, acc.Kind)
-		if res.WritebackVictim {
-			m.DRAM.Access(acc.Addr, memdef.Write, nil)
-		}
-		if res.Hit {
-			done()
-			return
-		}
-		m.mp.Access(acc.Addr, acc.Kind, done)
-	})
+	w.issue = w.sm.machine.Eng.Now()
+	w.sm.machine.MMU.Translate(w.sm.id, w.acc, w.translated)
 }
 
 // ActiveWarps returns the number of warps that have not retired.

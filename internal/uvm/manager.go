@@ -9,10 +9,16 @@
 // mapping raises a far fault handled on the host with a 20 µs service
 // latency; the faulting warp is stalled and replayed when the page arrives
 // (replayable far faults, Zheng et al. [9]), while other warps keep running.
+//
+// Hot-path bookkeeping is dense: per-chunk state lives in a slice indexed by
+// chunk ID (footprints are contiguous), pending-fault marks are per-chunk
+// bitmaps, and translation contexts are pooled with their stage callbacks
+// built once, so the translate/fault path is allocation-free in steady state.
 package uvm
 
 import (
 	"fmt"
+	"math/bits"
 
 	"github.com/reproductions/cppe/internal/engine"
 	"github.com/reproductions/cppe/internal/evict"
@@ -31,6 +37,28 @@ type chunkState struct {
 	resident memdef.PageBitmap
 	inflight memdef.PageBitmap
 	touched  memdef.PageBitmap
+	// pendingFault marks pages whose fault has been claimed but whose
+	// migration has not been planned yet (the fault sits in the driver's
+	// fault buffer); later faults on the same page merge into its waiters.
+	pendingFault memdef.PageBitmap
+	// smMask records which SMs may hold L1 TLB entries for this chunk's
+	// pages (set at L1 insert time), so eviction only shoots down those L1s.
+	// It over-approximates — an entry may have aged out — which is safe:
+	// invalidating an absent page is a no-op. Bit i covers SM i; SMs >= 64
+	// fall back to smMaskAll.
+	smMask    uint64
+	smMaskAll bool
+	// waiters holds, per chunk page, the callbacks to wake when the page
+	// becomes resident. Allocated on first use; slices are recycled.
+	waiters *[memdef.ChunkPages][]func()
+}
+
+// addWaiter queues resume until page index idx becomes resident.
+func (st *chunkState) addWaiter(idx int, resume func()) {
+	if st.waiters == nil {
+		st.waiters = new([memdef.ChunkPages][]func())
+	}
+	st.waiters[idx] = append(st.waiters[idx], resume)
 }
 
 // Stats aggregates the driver-level counters the evaluation reports.
@@ -120,6 +148,32 @@ func (b Breakdown) AvgLatency(p PathKind) float64 {
 	return float64(b.Cycles[p]) / float64(b.Count[p])
 }
 
+// xlat is one pooled in-flight translation. Its stage callbacks are built
+// once (when the context is first allocated) and read their operands from the
+// context, so a translation allocates nothing after the pool warms up.
+type xlat struct {
+	m     *Manager
+	sm    memdef.SMID
+	page  memdef.PageNum
+	write bool
+	start memdef.Cycle
+	done  func()
+	next  *xlat
+
+	l1Stage   func()           // after the L1 TLB latency: probe the L1 TLB
+	l2Grant   func()           // an L2 TLB port was granted
+	l2Stage   func()           // after the L2 TLB latency: probe, walk on miss
+	walkDone  func(ptw.Result) // page-table walk completed
+	faultDone func()           // far-fault service completed
+}
+
+// chunkMask pairs a chunk with the page mask migrated into it, for the
+// deterministic per-chunk OnMigrate delivery.
+type chunkMask struct {
+	c    memdef.ChunkID
+	mask memdef.PageBitmap
+}
+
 // Manager is the GMMU plus the UVM driver runtime.
 type Manager struct {
 	eng    *engine.Engine
@@ -141,14 +195,17 @@ type Manager struct {
 	freeFrames []pagetable.FrameNum
 	nextFrame  pagetable.FrameNum
 
-	chunks  map[memdef.ChunkID]*chunkState
-	waiters map[memdef.PageNum][]func()
-	// pendingFault marks pages whose fault has been claimed but whose
-	// migration has not been planned yet (the fault sits in the driver's
-	// fault buffer); later faults on the same page merge into its waiters.
-	pendingFault map[memdef.PageNum]bool
+	// chunkTab is the dense per-chunk state table: chunk c lives at
+	// chunkTab[c-chunkBase]. Entries are allocated on first touch and kept
+	// (zeroed, waiters preserved) across evictions, so pointers are stable.
+	chunkBase memdef.ChunkID
+	chunkTab  []*chunkState
+
 	// migSlots bounds concurrent fault-batch processing by the driver.
 	migSlots *engine.Semaphore
+
+	xlatFree *xlat       // translation-context pool
+	migBuf   []chunkMask // commitMigration per-chunk grouping scratch
 
 	footprintPages int
 	aborted        bool
@@ -168,9 +225,6 @@ func New(eng *engine.Engine, cfg memdef.Config, link *xbus.Link, policy evict.Po
 		pf:            pf,
 		l2tlb:         tlb.New("l2tlb", cfg.L2TLBEntries, cfg.L2TLBWays),
 		capacityPages: cfg.MemoryPages,
-		chunks:        make(map[memdef.ChunkID]*chunkState),
-		waiters:       make(map[memdef.PageNum][]func()),
-		pendingFault:  make(map[memdef.PageNum]bool),
 	}
 	for i := 0; i < cfg.NumSMs; i++ {
 		m.l1tlbs = append(m.l1tlbs, tlb.New(fmt.Sprintf("l1tlb-sm%d", i), cfg.L1TLBEntries, cfg.L1TLBEntries))
@@ -213,63 +267,99 @@ func (m *Manager) MemoryFull() bool { return m.memoryFull }
 // ResidentPages returns the current number of resident or reserved pages.
 func (m *Manager) ResidentPages() int { return m.usedPages }
 
+// getXlat pops (or builds) a translation context.
+func (m *Manager) getXlat() *xlat {
+	x := m.xlatFree
+	if x == nil {
+		x = &xlat{m: m}
+		x.l1Stage = func() {
+			if x.m.l1tlbs[x.sm].Lookup(x.page) {
+				x.m.stats.L1THits++
+				x.m.finish(x, PathL1Hit)
+				return
+			}
+			// The shared L2 TLB has a bounded number of ports: an access
+			// holds one for the lookup latency; excess lookups queue.
+			x.m.l2ports.Acquire(x.l2Grant)
+		}
+		x.l2Grant = func() { engine.After(x.m.eng, x.m.cfg.L2TLBLatency, x.l2Stage) }
+		x.l2Stage = func() {
+			x.m.l2ports.Release()
+			if x.m.l2tlb.Lookup(x.page) {
+				x.m.stats.L2THits++
+				x.m.insertL1(x.sm, x.page)
+				x.m.finish(x, PathL2Hit)
+				return
+			}
+			x.m.stats.Walks++
+			x.m.walker.Walk(x.page, x.walkDone)
+		}
+		x.walkDone = func(r ptw.Result) {
+			if r.Mapped {
+				x.m.l2tlb.Insert(x.page)
+				x.m.insertL1(x.sm, x.page)
+				x.m.finish(x, PathWalk)
+				return
+			}
+			x.m.handleFault(x.page, x.faultDone)
+		}
+		x.faultDone = func() {
+			x.m.l2tlb.Insert(x.page)
+			x.m.insertL1(x.sm, x.page)
+			x.m.finish(x, PathFault)
+		}
+		return x
+	}
+	m.xlatFree = x.next
+	x.next = nil
+	return x
+}
+
 // Translate resolves the virtual address of acc for SM sm and invokes done
 // when a valid translation exists (after fault handling if necessary). The
 // GPU-side touch bookkeeping happens at completion.
 func (m *Manager) Translate(sm memdef.SMID, acc memdef.Access, done func()) {
 	m.stats.Accesses++
-	page := acc.Addr.Page()
-	start := m.eng.Now()
-	finish := func(path PathKind) {
-		m.stats.Breakdown.Count[path]++
-		m.stats.Breakdown.Cycles[path] += m.eng.Now() - start
-		m.recordTouch(page)
-		if acc.Kind == memdef.Write {
-			m.table.SetDirty(page)
-		}
-		done()
+	x := m.getXlat()
+	x.sm = sm
+	x.page = acc.Addr.Page()
+	x.write = acc.Kind == memdef.Write
+	x.start = m.eng.Now()
+	x.done = done
+	engine.After(m.eng, m.cfg.L1TLBLatency, x.l1Stage)
+}
+
+// finish completes a translation: path accounting, touch/dirty bookkeeping,
+// context recycling, and the caller's continuation.
+func (m *Manager) finish(x *xlat, path PathKind) {
+	m.stats.Breakdown.Count[path]++
+	m.stats.Breakdown.Cycles[path] += m.eng.Now() - x.start
+	m.recordTouch(x.page)
+	if x.write {
+		m.table.SetDirty(x.page)
 	}
-	l1 := m.l1tlbs[sm]
-	engine.After(m.eng, m.cfg.L1TLBLatency, func() {
-		if l1.Lookup(page) {
-			m.stats.L1THits++
-			finish(PathL1Hit)
-			return
-		}
-		// The shared L2 TLB has a bounded number of ports: an access holds
-		// one for the lookup latency; excess lookups queue.
-		m.l2ports.Acquire(func() {
-			engine.After(m.eng, m.cfg.L2TLBLatency, func() {
-				m.l2ports.Release()
-				if m.l2tlb.Lookup(page) {
-					m.stats.L2THits++
-					l1.Insert(page)
-					finish(PathL2Hit)
-					return
-				}
-				m.stats.Walks++
-				m.walker.Walk(page, func(r ptw.Result) {
-					if r.Mapped {
-						m.l2tlb.Insert(page)
-						l1.Insert(page)
-						finish(PathWalk)
-						return
-					}
-					m.handleFault(sm, page, func() {
-						m.l2tlb.Insert(page)
-						l1.Insert(page)
-						finish(PathFault)
-					})
-				})
-			})
-		})
-	})
+	done := x.done
+	x.done = nil
+	x.next = m.xlatFree
+	m.xlatFree = x
+	done()
+}
+
+// insertL1 fills sm's L1 TLB and records sm in the chunk's shootdown mask.
+func (m *Manager) insertL1(sm memdef.SMID, page memdef.PageNum) {
+	m.l1tlbs[sm].Insert(page)
+	st := m.chunkState(page.Chunk())
+	if sm < 64 {
+		st.smMask |= 1 << uint(sm)
+	} else {
+		st.smMaskAll = true
+	}
 }
 
 // recordTouch sets the touch bit on first access of a resident page and
 // notifies the eviction policy.
 func (m *Manager) recordTouch(page memdef.PageNum) {
-	st := m.chunks[page.Chunk()]
+	st := m.lookupChunk(page.Chunk())
 	if st == nil {
 		return
 	}
@@ -283,7 +373,7 @@ func (m *Manager) recordTouch(page memdef.PageNum) {
 
 // isResidentOrInflight is the prefetcher's residency oracle.
 func (m *Manager) isResidentOrInflight(p memdef.PageNum) bool {
-	st := m.chunks[p.Chunk()]
+	st := m.lookupChunk(p.Chunk())
 	if st == nil {
 		return false
 	}
@@ -295,16 +385,18 @@ func (m *Manager) isResidentOrInflight(p memdef.PageNum) bool {
 // resident and mapped. Faults on pages already being migrated (or already
 // claimed by a queued fault) merge; distinct faults queue for one of the
 // driver's bounded fault-processing slots.
-func (m *Manager) handleFault(sm memdef.SMID, page memdef.PageNum, resume func()) {
-	if m.isResidentOrInflight(page) || m.pendingFault[page] {
+func (m *Manager) handleFault(page memdef.PageNum, resume func()) {
+	st := m.chunkState(page.Chunk())
+	idx := page.Index()
+	if st.resident.Has(idx) || st.inflight.Has(idx) || st.pendingFault.Has(idx) {
 		// Another fault is already responsible for this page: merge.
 		m.stats.MergedFaults++
-		m.waiters[page] = append(m.waiters[page], resume)
+		st.addWaiter(idx, resume)
 		return
 	}
 	m.stats.FaultEvents++
-	m.pendingFault[page] = true
-	m.waiters[page] = append(m.waiters[page], resume)
+	st.pendingFault = st.pendingFault.Set(idx)
+	st.addWaiter(idx, resume)
 	m.policy.OnFault(page.Chunk())
 	m.migSlots.Acquire(func() { m.processFault(page) })
 }
@@ -312,14 +404,15 @@ func (m *Manager) handleFault(sm memdef.SMID, page memdef.PageNum, resume func()
 // processFault plans and performs the migration for one claimed fault. It
 // runs holding a driver slot, which is released when the migration commits.
 func (m *Manager) processFault(page memdef.PageNum) {
-	delete(m.pendingFault, page)
-	if m.isResidentOrInflight(page) {
+	st := m.chunkState(page.Chunk())
+	idx := page.Index()
+	st.pendingFault = st.pendingFault.Clear(idx)
+	if st.resident.Has(idx) || st.inflight.Has(idx) {
 		// While this fault waited in the fault buffer, another migration
 		// covered its page: the commit of that migration wakes the waiters
 		// (or already did, if the page is fully resident).
 		m.migSlots.Release()
-		st := m.chunks[page.Chunk()]
-		if st != nil && st.resident.Has(page.Index()) {
+		if st.resident.Has(idx) {
 			m.wake(page)
 		}
 		return
@@ -387,23 +480,60 @@ func (m *Manager) processFault(page memdef.PageNum) {
 
 // wake schedules all waiters registered for page.
 func (m *Manager) wake(page memdef.PageNum) {
-	ws := m.waiters[page]
+	st := m.lookupChunk(page.Chunk())
+	if st == nil || st.waiters == nil {
+		return
+	}
+	idx := page.Index()
+	ws := st.waiters[idx]
 	if len(ws) == 0 {
 		return
 	}
-	delete(m.waiters, page)
 	for _, w := range ws {
 		// Zero-delay event keeps wake-up ordering deterministic.
 		m.eng.Schedule(0, w)
 	}
+	for j := range ws {
+		ws[j] = nil
+	}
+	st.waiters[idx] = ws[:0]
+}
+
+// lookupChunk returns the state for chunk c, or nil if c was never touched.
+func (m *Manager) lookupChunk(c memdef.ChunkID) *chunkState {
+	if c < m.chunkBase || c >= m.chunkBase+memdef.ChunkID(len(m.chunkTab)) {
+		return nil
+	}
+	return m.chunkTab[c-m.chunkBase]
 }
 
 // chunkState returns (allocating if needed) the state for chunk c.
 func (m *Manager) chunkState(c memdef.ChunkID) *chunkState {
-	st := m.chunks[c]
+	if len(m.chunkTab) == 0 {
+		m.chunkBase = c
+		m.chunkTab = make([]*chunkState, 1, 64)
+	} else if c < m.chunkBase {
+		// Grow downward: shift existing entries up, with headroom.
+		pad := int(m.chunkBase-c) + len(m.chunkTab)
+		grown := make([]*chunkState, int(m.chunkBase-c)+len(m.chunkTab), pad*2)
+		copy(grown[m.chunkBase-c:], m.chunkTab)
+		m.chunkTab = grown
+		m.chunkBase = c
+	} else if i := int(c - m.chunkBase); i >= len(m.chunkTab) {
+		// Grow upward, amortized.
+		need := i + 1
+		if need <= cap(m.chunkTab) {
+			m.chunkTab = m.chunkTab[:need]
+		} else {
+			grown := make([]*chunkState, need, need*2)
+			copy(grown, m.chunkTab)
+			m.chunkTab = grown
+		}
+	}
+	st := m.chunkTab[c-m.chunkBase]
 	if st == nil {
 		st = &chunkState{}
-		m.chunks[c] = st
+		m.chunkTab[c-m.chunkBase] = st
 	}
 	return st
 }
@@ -411,21 +541,35 @@ func (m *Manager) chunkState(c memdef.ChunkID) *chunkState {
 // commitMigration maps the migrated pages, updates policy/prefetcher state,
 // and wakes the waiting warps.
 func (m *Manager) commitMigration(plan []memdef.PageNum) {
-	// Group by chunk to deliver one OnMigrate per chunk.
-	byChunk := make(map[memdef.ChunkID]memdef.PageBitmap)
+	// Group by chunk to deliver one OnMigrate per chunk, in first-appearance
+	// order of the plan (the historical map grouping iterated in map order,
+	// which is randomized; plan order is the deterministic equivalent).
+	byChunk := m.migBuf[:0]
 	for _, p := range plan {
 		m.table.Map(p, m.allocFrame())
 		st := m.chunkState(p.Chunk())
 		idx := p.Index()
 		st.inflight = st.inflight.Clear(idx)
 		st.resident = st.resident.Set(idx)
-		byChunk[p.Chunk()] = byChunk[p.Chunk()].Set(idx)
+		c := p.Chunk()
+		found := false
+		for j := range byChunk {
+			if byChunk[j].c == c {
+				byChunk[j].mask = byChunk[j].mask.Set(idx)
+				found = true
+				break
+			}
+		}
+		if !found {
+			byChunk = append(byChunk, chunkMask{c: c, mask: memdef.PageBitmap(0).Set(idx)})
+		}
 	}
 	m.stats.MigratedPages += uint64(len(plan))
 	m.stats.MigratedChunks++
-	for c, mask := range byChunk {
-		m.policy.OnMigrate(c, mask)
+	for _, cm := range byChunk {
+		m.policy.OnMigrate(cm.c, cm.mask)
 	}
+	m.migBuf = byChunk[:0]
 	m.pf.OnMigrate(plan)
 	for _, p := range plan {
 		m.wake(p)
@@ -439,7 +583,7 @@ func (m *Manager) evictOne(excludeChunk memdef.ChunkID) bool {
 		if c == excludeChunk {
 			return true
 		}
-		st := m.chunks[c]
+		st := m.lookupChunk(c)
 		return st == nil || st.inflight != 0 || st.resident == 0
 	})
 	if !ok {
@@ -452,13 +596,16 @@ func (m *Manager) evictOne(excludeChunk memdef.ChunkID) bool {
 // evictChunk unmaps every resident page of victim, shoots down TLBs, charges
 // dirty write-back, and notifies the policy and prefetcher.
 func (m *Manager) evictChunk(victim memdef.ChunkID) {
-	st := m.chunks[victim]
+	st := m.lookupChunk(victim)
 	if st == nil || st.resident == 0 {
 		panic(fmt.Sprintf("uvm: evicting non-resident chunk %v", victim))
 	}
 	dirtyBytes := 0
 	n := 0
-	for _, idx := range st.resident.Indices() {
+	resident := st.resident
+	for rem := resident; rem != 0; {
+		idx := bits.TrailingZeros16(uint16(rem))
+		rem &^= 1 << uint(idx)
 		p := victim.Page(idx)
 		pte := m.table.Unmap(p)
 		m.freeFrame(pte.Frame)
@@ -467,17 +614,37 @@ func (m *Manager) evictChunk(victim memdef.ChunkID) {
 			m.stats.DirtyPagesWrittenBack++
 		}
 		m.l2tlb.Invalidate(p)
-		for _, l1 := range m.l1tlbs {
-			l1.Invalidate(p)
-		}
 		n++
+	}
+	// L1 shootdowns only visit SMs that ever inserted a page of this chunk;
+	// invalidation of an absent page is a no-op, so the over-approximate mask
+	// changes no statistics, only the probes spent.
+	if st.smMaskAll {
+		for _, l1 := range m.l1tlbs {
+			invalidateAll(l1, victim, resident)
+		}
+	} else {
+		for mask := st.smMask; mask != 0; {
+			sm := bits.TrailingZeros64(mask)
+			mask &^= 1 << uint(sm)
+			if sm < len(m.l1tlbs) {
+				invalidateAll(m.l1tlbs[sm], victim, resident)
+			}
+		}
 	}
 	untouch := (st.resident &^ st.touched).Count()
 	touched := st.resident & st.touched
 	m.usedPages -= n
 	m.stats.EvictedChunks++
 	m.stats.EvictedPages += uint64(n)
-	delete(m.chunks, victim)
+	// Zero the residency state but keep the entry: pending faults and their
+	// waiters (pages of this chunk still in the driver's fault buffer) must
+	// survive the eviction, exactly as they did when they lived in separate
+	// page-keyed tables.
+	st.resident = 0
+	st.touched = 0
+	st.smMask = 0
+	st.smMaskAll = false
 
 	m.policy.OnEvicted(victim, untouch)
 	m.pf.OnEvict(victim, touched, untouch)
@@ -489,6 +656,15 @@ func (m *Manager) evictChunk(victim memdef.ChunkID) {
 	if m.cfg.ThrashAbortFactor > 0 && m.footprintPages > 0 &&
 		m.stats.EvictedPages > uint64(m.cfg.ThrashAbortFactor)*uint64(m.footprintPages) {
 		m.aborted = true
+	}
+}
+
+// invalidateAll shoots down every page of mask in chunk c from t.
+func invalidateAll(t *tlb.TLB, c memdef.ChunkID, mask memdef.PageBitmap) {
+	for rem := mask; rem != 0; {
+		idx := bits.TrailingZeros16(uint16(rem))
+		rem &^= 1 << uint(idx)
+		t.Invalidate(c.Page(idx))
 	}
 }
 

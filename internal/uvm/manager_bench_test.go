@@ -1,0 +1,128 @@
+package uvm
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/engine"
+	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/prefetch"
+	"github.com/reproductions/cppe/internal/xbus"
+)
+
+// benchRig builds a Manager with the default config and unlimited memory.
+func benchRig() (*engine.Engine, *Manager) {
+	eng := engine.New()
+	cfg := memdef.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.MemoryPages = 0
+	link := xbus.New(eng, cfg)
+	m := New(eng, cfg, link, evict.NewLRU(), prefetch.NewLocality(), &flatMem{eng: eng})
+	return eng, m
+}
+
+// BenchmarkTranslateL1Hit measures the steady-state translation fast path:
+// every access hits the L1 TLB and the dense chunk-state slice. After pool
+// warm-up this path must not allocate.
+func BenchmarkTranslateL1Hit(b *testing.B) {
+	b.ReportAllocs()
+	eng, m := benchRig()
+	const pages = 8
+	// Warm: fault the pages in and fill the TLBs.
+	for p := memdef.PageNum(0); p < pages; p++ {
+		fin := false
+		eng.Schedule(0, func() {
+			m.Translate(0, memdef.Access{Addr: p.Addr()}, func() { fin = true })
+		})
+		if _, err := eng.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+		if !fin {
+			b.Fatal("warm-up access never completed")
+		}
+	}
+	b.ResetTimer()
+	left := b.N
+	var next func()
+	next = func() {
+		if left == 0 {
+			return
+		}
+		left--
+		p := memdef.PageNum(uint64(left) % pages)
+		m.Translate(0, memdef.Access{Addr: p.Addr()}, next)
+	}
+	eng.Schedule(0, next)
+	if _, err := eng.Run(nil); err != nil {
+		b.Fatal(err)
+	}
+	if left != 0 {
+		b.Fatalf("%d translations never completed", left)
+	}
+}
+
+// BenchmarkTranslateWalk measures the L1+L2 TLB miss path ending in a
+// page-table walk over resident pages: the walker's pooled contexts and the
+// dense chunk table absorb the whole walk without allocating.
+func BenchmarkTranslateWalk(b *testing.B) {
+	b.ReportAllocs()
+	eng, m := benchRig()
+	// A footprint far larger than both TLBs, touched round-robin with a
+	// stride of one chunk so every access misses the L1 (16 entries) and
+	// mostly misses the L2 (512 entries).
+	const pages = 4096
+	for p := memdef.PageNum(0); p < pages; p += memdef.ChunkPages {
+		fin := false
+		eng.Schedule(0, func() {
+			m.Translate(0, memdef.Access{Addr: p.Addr()}, func() { fin = true })
+		})
+		if _, err := eng.Run(nil); err != nil {
+			b.Fatal(err)
+		}
+		if !fin {
+			b.Fatal("warm-up access never completed")
+		}
+	}
+	b.ResetTimer()
+	left := b.N
+	var page memdef.PageNum
+	var next func()
+	next = func() {
+		if left == 0 {
+			return
+		}
+		left--
+		page = (page + memdef.ChunkPages) % pages
+		m.Translate(0, memdef.Access{Addr: page.Addr()}, next)
+	}
+	eng.Schedule(0, next)
+	if _, err := eng.Run(nil); err != nil {
+		b.Fatal(err)
+	}
+	if left != 0 {
+		b.Fatalf("%d translations never completed", left)
+	}
+}
+
+// BenchmarkChunkStateDense measures the dense chunk-state table itself:
+// lookup plus touch bookkeeping across a wide, warm chunk range. This is the
+// operation the old map[ChunkID]*chunkState served on every access.
+func BenchmarkChunkStateDense(b *testing.B) {
+	b.ReportAllocs()
+	_, m := benchRig()
+	const chunks = 1024
+	for c := memdef.ChunkID(0); c < chunks; c++ {
+		st := m.chunkState(c)
+		st.resident = ^memdef.PageBitmap(0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := memdef.ChunkID(i % chunks)
+		st := m.lookupChunk(c)
+		if st == nil {
+			b.Fatal("warm chunk missing")
+		}
+		st.touched = 0
+		m.recordTouch(c.Page(i % memdef.ChunkPages))
+	}
+}
