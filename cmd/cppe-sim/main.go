@@ -20,15 +20,18 @@ import (
 
 func main() {
 	var (
-		bench  = flag.String("bench", "SRD", "Table II benchmark abbreviation")
-		setup  = flag.String("setup", "cppe", "system setup (see -list)")
-		rate   = flag.Int("rate", 50, "oversubscription percent (75/50; 0 = unlimited memory)")
-		scale  = flag.Float64("scale", 0, "workload footprint scale (default 0.25)")
-		warps  = flag.Int("warps", 0, "concurrent access streams (default 64)")
-		seed   = flag.Int64("seed", 0, "workload/PRNG seed")
-		list   = flag.Bool("list", false, "list benchmarks and setups, then exit")
-		trc    = flag.String("trace", "", "simulate a saved trace file (cppe-trace -o) instead of a benchmark")
-		detail = flag.Bool("detail", false, "print the full instrumentation report")
+		bench     = flag.String("bench", "SRD", "Table II benchmark abbreviation")
+		setup     = flag.String("setup", "cppe", "system setup (see -list)")
+		rate      = flag.Int("rate", 50, "oversubscription percent (75/50; 0 = unlimited memory)")
+		scale     = flag.Float64("scale", 0, "workload footprint scale (default 0.25)")
+		warps     = flag.Int("warps", 0, "concurrent access streams (default 64)")
+		seed      = flag.Int64("seed", 0, "workload/PRNG seed")
+		list      = flag.Bool("list", false, "list benchmarks and setups, then exit")
+		trc       = flag.String("trace", "", "simulate a saved trace file (cppe-trace -o) instead of a benchmark")
+		detail    = flag.Bool("detail", false, "print the full instrumentation report")
+		auditOn   = flag.Bool("audit", false, "enable the simulation integrity auditor (read-only; results unchanged)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off)")
+		system    = flag.String("system", "", "JSON file overriding Table-I system parameters (validated before running)")
 	)
 	flag.Parse()
 
@@ -44,7 +47,26 @@ func main() {
 		return
 	}
 
-	s := cppe.NewSession(cppe.Options{Scale: *scale, Warps: *warps, Seed: *seed})
+	opt := cppe.Options{
+		Scale: *scale, Warps: *warps, Seed: *seed,
+		Audit: *auditOn, ChaosSeed: *chaosSeed,
+	}
+	var s *cppe.Session
+	if *system != "" {
+		data, err := os.ReadFile(*system)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cppe-sim:", err)
+			os.Exit(1)
+		}
+		s, err = cppe.NewSessionWithSystem(opt, data)
+		if err != nil {
+			// Bad override documents fail with one line, before any simulation.
+			fmt.Fprintln(os.Stderr, "cppe-sim:", err)
+			os.Exit(1)
+		}
+	} else {
+		s = cppe.NewSession(opt)
+	}
 	t0 := time.Now()
 	var r cppe.Result
 	var err error
@@ -87,6 +109,9 @@ func main() {
 	fmt.Printf("migrated pages   %d\n", r.MigratedPages)
 	fmt.Printf("evicted pages    %d\n", r.EvictedPages)
 	fmt.Printf("crashed          %v\n", r.Crashed)
+	if r.Err != nil {
+		fmt.Printf("run error        %v\n", r.Err)
+	}
 	fmt.Printf("(simulated in %v)\n", elapsed.Round(time.Millisecond))
 
 	// Convenience: if the setup isn't the baseline, also report the speedup

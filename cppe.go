@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/reproductions/cppe/internal/audit"
 	"github.com/reproductions/cppe/internal/harness"
 	"github.com/reproductions/cppe/internal/memdef"
 	"github.com/reproductions/cppe/internal/stats"
@@ -100,6 +101,27 @@ type Options struct {
 	Seed int64
 	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
 	Parallelism int
+	// Audit enables the simulation integrity auditor: periodic and
+	// transition-point verification of the cross-module conservation
+	// invariants. Checks are read-only, so results are bit-for-bit identical
+	// with auditing on or off; a violation surfaces in Result.Err.
+	Audit bool
+	// ChaosSeed, when non-zero, arms deterministic fault injection at the
+	// interconnect/UVM boundary (delayed/reordered migration completions,
+	// transient far-fault failures retried by the driver). The same seed
+	// reproduces the same perturbation schedule exactly.
+	ChaosSeed int64
+}
+
+// baseConfig derives the Table-I configuration with the Options' integrity
+// knobs applied.
+func baseConfig(opt Options) memdef.Config {
+	cfg := memdef.DefaultConfig()
+	if opt.Audit {
+		cfg.AuditEveryCycles = audit.DefaultEveryCycles
+	}
+	cfg.ChaosSeed = opt.ChaosSeed
+	return cfg
 }
 
 // Request identifies one simulation.
@@ -119,8 +141,12 @@ type Result struct {
 	// Cycles is the modeled execution time in 1.4 GHz core cycles.
 	Cycles uint64
 	// Crashed reports a thrash-detector abort (the modeled analogue of the
-	// paper's baseline crashes for MVT/BICG).
+	// paper's baseline crashes for MVT/BICG) or a run failure (see Err).
 	Crashed bool
+	// Err is the structured failure of the run, if any: a typed driver
+	// error, an engine livelock error, an integrity violation, or a
+	// recovered panic. Nil for clean runs and plain thrash aborts.
+	Err error
 	// Accesses is the number of completed memory accesses.
 	Accesses uint64
 	// FaultEvents is the number of distinct far-fault service events.
@@ -142,6 +168,7 @@ type Session struct {
 // NewSession creates a session with the paper's Table-I system configuration.
 func NewSession(opt Options) *Session {
 	return &Session{h: harness.NewSession(harness.Config{
+		Base:        baseConfig(opt),
 		Scale:       opt.Scale,
 		Warps:       opt.Warps,
 		Seed:        opt.Seed,
@@ -156,6 +183,17 @@ func NewSession(opt Options) *Session {
 func NewSessionWithSystem(opt Options, systemJSON []byte) (*Session, error) {
 	cfg, err := memdef.ConfigFromJSON(systemJSON)
 	if err != nil {
+		return nil, err
+	}
+	if opt.Audit && cfg.AuditEveryCycles == 0 {
+		cfg.AuditEveryCycles = audit.DefaultEveryCycles
+	}
+	if opt.ChaosSeed != 0 {
+		cfg.ChaosSeed = opt.ChaosSeed
+	}
+	// Reject a structurally broken configuration here, with a one-line error,
+	// instead of letting machine construction panic mid-sweep.
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	return &Session{h: harness.NewSession(harness.Config{
@@ -228,6 +266,7 @@ func fromHarness(req Request, r harness.Result) Result {
 		Request:        req,
 		Cycles:         uint64(r.Cycles),
 		Crashed:        r.Crashed,
+		Err:            r.Err,
 		Accesses:       r.Accesses,
 		FaultEvents:    r.UVM.FaultEvents,
 		MigratedPages:  r.UVM.MigratedPages,

@@ -1,0 +1,200 @@
+// Package audit implements the simulation integrity layer: an Auditor that
+// machine-checks the cross-module conservation invariants the simulator's
+// correctness rests on — resident-page accounting vs. capacity, eviction-chain
+// membership vs. UVM residency, TLB entries vs. residency, pending-fault
+// bitmaps vs. in-flight migrations, and interconnect in-flight bytes vs. link
+// capacity.
+//
+// Components register named checks; the engine drives the auditor both
+// periodically (every N simulated cycles, between events, so checks observe a
+// consistent state and never perturb event ordering) and at transition points
+// (migration commit, eviction, shootdown). A failed check produces a
+// structured *IntegrityError carrying a diagnostic state snapshot instead of
+// panicking, so one corrupted run degrades into one failed table cell rather
+// than killing a whole parallel sweep.
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// DefaultEveryCycles is the default periodic audit cadence. It is coarse
+// enough that a full-state scan (O(resident chunks + TLB entries)) is noise
+// next to the simulation itself, and fine enough that corruption is caught
+// within a small fraction of a run.
+const DefaultEveryCycles = memdef.Cycle(50_000)
+
+// Class partitions the invariant catalogue; chaos tests assert that a given
+// corruption is caught by a check of the expected class.
+type Class string
+
+const (
+	// ClassCapacity covers resident/in-flight page conservation and the
+	// capacity bound (usedPages == resident + in-flight <= capacity, and the
+	// page table maps exactly the resident pages).
+	ClassCapacity Class = "capacity"
+	// ClassChain covers eviction-policy bookkeeping: every tracked chunk is
+	// resident and every resident chunk is tracked.
+	ClassChain Class = "chain"
+	// ClassTLB covers translation caches: no L1/L2 TLB entry may map a
+	// non-resident page (shootdowns must not be missed).
+	ClassTLB Class = "tlb"
+	// ClassPendingFault covers the driver's fault buffer: pending-fault
+	// bitmap population must equal the claimed-but-unplanned fault count.
+	ClassPendingFault Class = "pending-fault"
+	// ClassLink covers the interconnect: in-flight bytes must never exceed
+	// what the link can move in its remaining booked time.
+	ClassLink Class = "link"
+)
+
+// IntegrityError is a structured invariant violation. It implements error.
+type IntegrityError struct {
+	// Class and Check identify the violated invariant.
+	Class Class
+	Check string
+	// Trigger says what prompted the check ("periodic", "migration-commit",
+	// "eviction", "corruption-probe", ...).
+	Trigger string
+	// Cycle is the simulated time of detection.
+	Cycle memdef.Cycle
+	// Detail is the check's own description of the violation.
+	Detail string
+	// Snapshot is the diagnostic state dump captured at detection time.
+	Snapshot Snapshot
+}
+
+func (e *IntegrityError) Error() string {
+	return fmt.Sprintf("integrity: [%s/%s] at cycle %d (%s): %s",
+		e.Class, e.Check, e.Cycle, e.Trigger, e.Detail)
+}
+
+// Snapshot is the diagnostic state captured with an IntegrityError: the
+// global accounting plus a free-form dump of the offending structures.
+type Snapshot struct {
+	Cycle memdef.Cycle
+	// UsedPages/CapacityPages are the driver's accounting at capture time.
+	UsedPages, CapacityPages int
+	// ResidentPages/InflightPages/PendingFaults are the recounted sums.
+	ResidentPages, InflightPages, PendingFaults int
+	// TrackedChunks is the eviction policy's bookkeeping size.
+	TrackedChunks int
+	// Detail holds per-chunk residency, chain partitions and in-flight
+	// transfer dumps (bounded; diagnostic only).
+	Detail string
+}
+
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle=%d used=%d/%d resident=%d inflight=%d pending=%d tracked=%d",
+		s.Cycle, s.UsedPages, s.CapacityPages, s.ResidentPages, s.InflightPages,
+		s.PendingFaults, s.TrackedChunks)
+	if s.Detail != "" {
+		b.WriteString("\n")
+		b.WriteString(s.Detail)
+	}
+	return b.String()
+}
+
+// check is one registered invariant.
+type check struct {
+	class Class
+	name  string
+	fn    func() string // "" = invariant holds, otherwise the violation detail
+}
+
+// Auditor runs registered invariant checks and collects violations.
+// It is not safe for concurrent use; each simulated machine owns one.
+type Auditor struct {
+	clock    func() memdef.Cycle
+	snapshot func() Snapshot
+	checks   []check
+
+	errs      []*IntegrityError
+	checksRun uint64
+	// maxErrors bounds the collected violations: corruption tends to cascade,
+	// and the first few reports carry all the signal.
+	maxErrors int
+}
+
+// New returns an empty auditor. Components contribute checks with Register;
+// the owner wires the clock and snapshot providers.
+func New() *Auditor {
+	return &Auditor{maxErrors: 16}
+}
+
+// SetClock installs the simulated-time source (typically engine.Now).
+func (a *Auditor) SetClock(fn func() memdef.Cycle) { a.clock = fn }
+
+// SetSnapshot installs the diagnostic state-dump provider, captured when a
+// check fails.
+func (a *Auditor) SetSnapshot(fn func() Snapshot) { a.snapshot = fn }
+
+// Register adds an invariant check. fn must be read-only with respect to the
+// simulation (checks run between events and at transition points; mutating
+// state from a check would corrupt the very invariants being verified) and
+// returns "" while the invariant holds.
+func (a *Auditor) Register(class Class, name string, fn func() string) {
+	a.checks = append(a.checks, check{class: class, name: name, fn: fn})
+}
+
+// CheckNow runs every registered check, recording one IntegrityError per
+// violation, and returns the number of new violations. trigger labels the
+// call site for diagnostics ("periodic", "migration-commit", ...).
+func (a *Auditor) CheckNow(trigger string) int {
+	found := 0
+	for _, c := range a.checks {
+		a.checksRun++
+		detail := c.fn()
+		if detail == "" {
+			continue
+		}
+		found++
+		a.record(c.class, c.name, trigger, detail)
+	}
+	return found
+}
+
+// Report records a violation found by a scoped (caller-side) check, such as
+// the O(1) transition checks the UVM manager runs at migration commits and
+// evictions. It complements Register/CheckNow for call sites that already
+// hold the evidence and only need the structured capture.
+func (a *Auditor) Report(class Class, check, trigger, detail string) {
+	a.checksRun++
+	a.record(class, check, trigger, detail)
+}
+
+// record captures one violation with its snapshot.
+func (a *Auditor) record(class Class, name, trigger, detail string) {
+	if len(a.errs) >= a.maxErrors {
+		return
+	}
+	e := &IntegrityError{Class: class, Check: name, Trigger: trigger, Detail: detail}
+	if a.clock != nil {
+		e.Cycle = a.clock()
+	}
+	if a.snapshot != nil {
+		e.Snapshot = a.snapshot()
+		e.Snapshot.Cycle = e.Cycle
+	}
+	a.errs = append(a.errs, e)
+}
+
+// Errors returns the violations collected so far, in detection order.
+func (a *Auditor) Errors() []*IntegrityError { return a.errs }
+
+// Err returns the first violation as an error, or nil when the run is clean.
+func (a *Auditor) Err() error {
+	if len(a.errs) == 0 {
+		return nil
+	}
+	return a.errs[0]
+}
+
+// ChecksRun returns the total number of individual checks executed.
+func (a *Auditor) ChecksRun() uint64 { return a.checksRun }
+
+// Clean reports whether no violation has been detected.
+func (a *Auditor) Clean() bool { return len(a.errs) == 0 }

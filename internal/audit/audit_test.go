@@ -1,0 +1,83 @@
+package audit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+func TestCheckNowRecordsViolations(t *testing.T) {
+	a := New()
+	now := memdef.Cycle(1234)
+	a.SetClock(func() memdef.Cycle { return now })
+	a.SetSnapshot(func() Snapshot {
+		return Snapshot{UsedPages: 7, CapacityPages: 8, Detail: "chunk 3: resident=00ff"}
+	})
+	healthy := true
+	a.Register(ClassCapacity, "conservation", func() string {
+		if healthy {
+			return ""
+		}
+		return "counter drift"
+	})
+	a.Register(ClassTLB, "tlb-residency", func() string { return "" })
+
+	if n := a.CheckNow("periodic"); n != 0 || !a.Clean() || a.Err() != nil {
+		t.Fatalf("clean state reported violations: n=%d err=%v", n, a.Err())
+	}
+	if a.ChecksRun() != 2 {
+		t.Fatalf("ChecksRun = %d, want 2", a.ChecksRun())
+	}
+
+	healthy = false
+	now = 5678
+	if n := a.CheckNow("migration-commit"); n != 1 {
+		t.Fatalf("violations = %d, want 1", n)
+	}
+	var ie *IntegrityError
+	if err := a.Err(); !errors.As(err, &ie) {
+		t.Fatalf("Err = %T, want *IntegrityError", err)
+	}
+	if ie.Class != ClassCapacity || ie.Check != "conservation" || ie.Trigger != "migration-commit" {
+		t.Fatalf("error identity wrong: %+v", ie)
+	}
+	if ie.Cycle != 5678 || ie.Snapshot.Cycle != 5678 || ie.Snapshot.UsedPages != 7 {
+		t.Fatalf("clock/snapshot not captured: %+v", ie)
+	}
+	for _, part := range []string{"capacity", "conservation", "5678", "counter drift"} {
+		if !strings.Contains(ie.Error(), part) {
+			t.Errorf("Error() = %q, missing %q", ie.Error(), part)
+		}
+	}
+	if !strings.Contains(ie.Snapshot.String(), "chunk 3") {
+		t.Errorf("snapshot dump lost detail: %q", ie.Snapshot.String())
+	}
+}
+
+func TestReportScopedViolation(t *testing.T) {
+	a := New()
+	a.Report(ClassChain, "chain-residency", "eviction", "chunk 9 untracked")
+	if a.Clean() || len(a.Errors()) != 1 {
+		t.Fatalf("Report did not record: %+v", a.Errors())
+	}
+	e := a.Errors()[0]
+	if e.Class != ClassChain || e.Trigger != "eviction" {
+		t.Fatalf("wrong identity: %+v", e)
+	}
+}
+
+func TestMaxErrorsBounded(t *testing.T) {
+	a := New()
+	a.Register(ClassLink, "always-broken", func() string { return "boom" })
+	for i := 0; i < 100; i++ {
+		a.CheckNow("periodic")
+	}
+	if got := len(a.Errors()); got != 16 {
+		t.Fatalf("errors = %d, want capped at 16", got)
+	}
+	if a.ChecksRun() != 100 {
+		t.Fatalf("ChecksRun = %d, want 100 (checks keep running past the cap)", a.ChecksRun())
+	}
+}

@@ -19,6 +19,7 @@ package engine
 import (
 	"fmt"
 	"math/bits"
+	"time"
 
 	"github.com/reproductions/cppe/internal/memdef"
 )
@@ -75,6 +76,25 @@ type Engine struct {
 	overflow []*eventNode
 
 	free *eventNode // node pool
+
+	// Periodic hook (integrity auditing): fn runs between events whenever at
+	// least periodicEvery cycles of simulated time have passed since its last
+	// invocation. Running outside the event queue keeps the hook invisible to
+	// the simulation — no extra events, no seq perturbation, and the run still
+	// ends at the cycle of its last real event.
+	periodicEvery memdef.Cycle
+	periodicLast  memdef.Cycle
+	periodicFn    func()
+
+	// No-progress watchdog: if wdEvery consecutive events fire without the
+	// frontier cycle advancing and more than wdWindow of wall-clock time
+	// passes, Run returns ErrNoProgress (a same-cycle livelock that the event
+	// budget would only catch millions of events later).
+	wdEvery   uint64
+	wdWindow  time.Duration
+	wdCount   uint64
+	wdCycle   memdef.Cycle
+	wdDeadline time.Time
 }
 
 // New returns an empty engine at cycle 0.
@@ -94,6 +114,39 @@ func (e *Engine) Pending() int { return e.pending }
 // SetEventBudget installs a hard cap on the number of events a single Run may
 // fire; exceeding it makes Run return ErrBudget. Zero disables the cap.
 func (e *Engine) SetEventBudget(n uint64) { e.budget = n }
+
+// SetPeriodic installs a hook that Run invokes between events whenever at
+// least every cycles of simulated time have elapsed since its previous
+// invocation. The hook observes a consistent simulation state (no event is
+// mid-flight) and must not schedule events or mutate component state; the
+// integrity auditor is the intended client. every <= 0 or fn == nil removes
+// the hook.
+func (e *Engine) SetPeriodic(every memdef.Cycle, fn func()) {
+	if every <= 0 || fn == nil {
+		e.periodicFn = nil
+		return
+	}
+	e.periodicEvery = every
+	e.periodicLast = e.now
+	e.periodicFn = fn
+}
+
+// SetWatchdog arms the no-progress watchdog: if everyEvents consecutive
+// events fire with the frontier cycle frozen and window of wall-clock time
+// passes, Run returns ErrNoProgress. Zero window disarms it. everyEvents <= 0
+// selects a default of 1<<20, large enough that any legitimate same-cycle
+// cascade (bounded by warps + in-flight migrations) stays far below it.
+func (e *Engine) SetWatchdog(window time.Duration, everyEvents uint64) {
+	if window <= 0 {
+		e.wdWindow = 0
+		return
+	}
+	if everyEvents == 0 {
+		everyEvents = 1 << 20
+	}
+	e.wdEvery = everyEvents
+	e.wdWindow = window
+}
 
 func (e *Engine) alloc() *eventNode {
 	n := e.free
@@ -233,6 +286,35 @@ func (e *Engine) popNext() *eventNode {
 // this simulator indicates a livelock (e.g. unbounded fault replay).
 var ErrBudget = fmt.Errorf("engine: event budget exhausted")
 
+// ErrNoProgress is returned by Run when the watchdog trips: a long stretch of
+// events fired without the frontier cycle advancing, within a wall-clock
+// window (see SetWatchdog). It indicates a same-cycle livelock — e.g. a
+// zero-delay event loop — caught long before ErrBudget would fire.
+var ErrNoProgress = fmt.Errorf("engine: no forward progress (frontier cycle frozen) within watchdog window")
+
+// watchdogCheck is consulted once per fired event while the watchdog is
+// armed. It returns true when the no-progress condition is met.
+func (e *Engine) watchdogCheck() bool {
+	if e.now != e.wdCycle {
+		e.wdCycle = e.now
+		e.wdCount = 0
+		e.wdDeadline = time.Time{}
+		return false
+	}
+	e.wdCount++
+	if e.wdCount < e.wdEvery {
+		return false
+	}
+	// Frontier frozen for wdEvery events: start (or consult) the wall clock.
+	if e.wdDeadline.IsZero() {
+		e.wdDeadline = time.Now().Add(e.wdWindow)
+		e.wdCount = 0
+		return false
+	}
+	e.wdCount = 0
+	return time.Now().After(e.wdDeadline)
+}
+
 // Run drains the event queue until it is empty or until done returns true
 // (checked between events; done may be nil — and consulted again even when
 // the queue transiently empties and the final event refills it, so an event
@@ -268,6 +350,13 @@ func (e *Engine) Run(done func() bool) (memdef.Cycle, error) {
 			fn()
 		} else {
 			argFn(arg)
+		}
+		if e.periodicFn != nil && e.now-e.periodicLast >= e.periodicEvery {
+			e.periodicLast = e.now
+			e.periodicFn()
+		}
+		if e.wdWindow != 0 && e.watchdogCheck() {
+			return e.now, ErrNoProgress
 		}
 	}
 	return e.now, nil

@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// TestPeriodicHookCadence asserts the periodic hook fires between events at
+// the configured simulated-time cadence, without perturbing the clock or the
+// event count.
+func TestPeriodicHookCadence(t *testing.T) {
+	e := New()
+	var ticks []memdef.Cycle
+	e.SetPeriodic(100, func() { ticks = append(ticks, e.Now()) })
+	for i := memdef.Cycle(1); i <= 10; i++ {
+		e.Schedule(i*50, func() {})
+	}
+	now, err := e.Run(nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if now != 500 {
+		t.Fatalf("final cycle = %d, want 500 (periodic hook must not extend the run)", now)
+	}
+	// Events at 50,100,...,500; hook fires at the first event with >= 100
+	// cycles elapsed since the last firing: 100, 200, 300, 400, 500.
+	want := []memdef.Cycle{100, 200, 300, 400, 500}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	if e.Fired() != 10 {
+		t.Fatalf("fired = %d, want 10 (hook runs must not count as events)", e.Fired())
+	}
+}
+
+// TestPeriodicHookRemoval asserts SetPeriodic(0, nil) uninstalls the hook.
+func TestPeriodicHookRemoval(t *testing.T) {
+	e := New()
+	fired := 0
+	e.SetPeriodic(10, func() { fired++ })
+	e.SetPeriodic(0, nil)
+	e.Schedule(100, func() {})
+	e.Run(nil)
+	if fired != 0 {
+		t.Fatalf("removed hook fired %d times", fired)
+	}
+}
+
+// TestWatchdogTripsOnFrozenFrontier asserts a same-cycle livelock (an event
+// that perpetually reschedules itself at zero delay) is caught by the
+// watchdog as ErrNoProgress instead of burning the whole event budget.
+func TestWatchdogTripsOnFrozenFrontier(t *testing.T) {
+	e := New()
+	e.SetWatchdog(time.Millisecond, 64)
+	var spin func()
+	spin = func() { e.Schedule(0, spin) }
+	e.Schedule(0, spin)
+	_, err := e.Run(nil)
+	if err != ErrNoProgress {
+		t.Fatalf("Run = %v, want ErrNoProgress", err)
+	}
+}
+
+// TestWatchdogQuietOnProgress asserts the watchdog never fires while the
+// frontier advances, even with a tiny wall-clock window.
+func TestWatchdogQuietOnProgress(t *testing.T) {
+	e := New()
+	e.SetWatchdog(time.Nanosecond, 1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10_000 {
+			e.Schedule(1, tick)
+		}
+	}
+	e.Schedule(1, tick)
+	if _, err := e.Run(nil); err != nil {
+		t.Fatalf("Run = %v, want nil", err)
+	}
+	if n != 10_000 {
+		t.Fatalf("events = %d", n)
+	}
+}
+
+// TestWatchdogDisarm asserts a zero window disarms the watchdog.
+func TestWatchdogDisarm(t *testing.T) {
+	e := New()
+	e.SetWatchdog(time.Millisecond, 4)
+	e.SetWatchdog(0, 0)
+	e.SetEventBudget(500)
+	var spin func()
+	spin = func() { e.Schedule(0, spin) }
+	e.Schedule(0, spin)
+	if _, err := e.Run(nil); err != ErrBudget {
+		t.Fatalf("Run = %v, want ErrBudget (watchdog disarmed)", err)
+	}
+}

@@ -168,6 +168,16 @@ func (c *Chain) FromTail(i int) *Entry {
 	return e
 }
 
+// Chunks returns the chunk IDs in chain order (head/LRU first). O(n);
+// audit and diagnostic use only.
+func (c *Chain) Chunks() []memdef.ChunkID {
+	out := make([]memdef.ChunkID, 0, c.n)
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.Chunk)
+	}
+	return out
+}
+
 // Position returns the 0-based distance of e from the head (LRU end). O(n);
 // used only by tests and diagnostics.
 func (c *Chain) Position(e *Entry) int {

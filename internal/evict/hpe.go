@@ -309,6 +309,9 @@ func (h *HPE) Strategy() Strategy { return h.strategy }
 // ChainLen exposes the chain length.
 func (h *HPE) ChainLen() int { return h.chain.Len() }
 
+// TrackedChunks implements the audit enumeration (see Tracked).
+func (h *HPE) TrackedChunks() []memdef.ChunkID { return h.chain.Chunks() }
+
 // Stats returns a snapshot.
 func (h *HPE) Stats() HPEStats {
 	s := h.stats

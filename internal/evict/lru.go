@@ -50,3 +50,6 @@ func (l *LRU) OnEvicted(c memdef.ChunkID, untouch int) {
 
 // ChainLen exposes the chain length (overhead analysis, tests).
 func (l *LRU) ChainLen() int { return l.chain.Len() }
+
+// TrackedChunks implements the audit enumeration (see Tracked).
+func (l *LRU) TrackedChunks() []memdef.ChunkID { return l.chain.Chunks() }

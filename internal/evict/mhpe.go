@@ -343,6 +343,9 @@ func (m *MHPE) ForwardDistance() int { return m.forward }
 // ChainLen exposes the chain length.
 func (m *MHPE) ChainLen() int { return m.chain.Len() }
 
+// TrackedChunks implements the audit enumeration (see Tracked).
+func (m *MHPE) TrackedChunks() []memdef.ChunkID { return m.chain.Chunks() }
+
 // Stats returns a snapshot of the policy's trajectory.
 func (m *MHPE) Stats() MHPEStats {
 	s := m.stats

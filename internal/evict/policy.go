@@ -27,6 +27,16 @@ type Policy interface {
 	OnEvicted(c memdef.ChunkID, untouch int)
 }
 
+// Tracked is the optional enumeration interface the integrity auditor uses
+// to cross-check a policy's bookkeeping against UVM residency: every tracked
+// chunk must be resident and every resident chunk tracked. All repository
+// policies implement it.
+type Tracked interface {
+	// TrackedChunks returns the chunks the policy currently tracks as
+	// resident, in the policy's own order. Audit/diagnostic use only.
+	TrackedChunks() []memdef.ChunkID
+}
+
 // Strategy identifies the search direction used within the chunk chain.
 type Strategy int
 

@@ -80,3 +80,10 @@ func (r *Random) OnEvicted(c memdef.ChunkID, untouch int) {
 
 // ChainLen exposes the tracked-chunk count.
 func (r *Random) ChainLen() int { return len(r.ids) }
+
+// TrackedChunks implements the audit enumeration (see Tracked).
+func (r *Random) TrackedChunks() []memdef.ChunkID {
+	out := make([]memdef.ChunkID, len(r.ids))
+	copy(out, r.ids)
+	return out
+}

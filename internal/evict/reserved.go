@@ -92,3 +92,6 @@ func (r *ReservedLRU) OnEvicted(c memdef.ChunkID, untouch int) {
 
 // ChainLen exposes the chain length.
 func (r *ReservedLRU) ChainLen() int { return r.chain.Len() }
+
+// TrackedChunks implements the audit enumeration (see Tracked).
+func (r *ReservedLRU) TrackedChunks() []memdef.ChunkID { return r.chain.Chunks() }

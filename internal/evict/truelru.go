@@ -58,3 +58,6 @@ func (l *TrueLRU) OnEvicted(c memdef.ChunkID, untouch int) {
 
 // ChainLen exposes the chain length.
 func (l *TrueLRU) ChainLen() int { return l.chain.Len() }
+
+// TrackedChunks implements the audit enumeration (see Tracked).
+func (l *TrueLRU) TrackedChunks() []memdef.ChunkID { return l.chain.Chunks() }

@@ -6,9 +6,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"github.com/reproductions/cppe/internal/core"
 	"github.com/reproductions/cppe/internal/evict"
@@ -36,6 +39,11 @@ type Config struct {
 	Parallelism int
 	// MaxEvents bounds one simulation's event count (default 500M).
 	MaxEvents uint64
+	// WatchdogWindow arms the engine's no-progress watchdog per run: a
+	// same-cycle livelock that freezes the frontier for this much wall-clock
+	// time fails the run with engine.ErrNoProgress instead of burning the
+	// whole event budget. Zero selects 30s; negative disables the watchdog.
+	WatchdogWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -57,8 +65,20 @@ func (c Config) withDefaults() Config {
 	if c.MaxEvents == 0 {
 		c.MaxEvents = 500_000_000
 	}
+	if c.WatchdogWindow == 0 {
+		c.WatchdogWindow = 30 * time.Second
+	}
 	return c
 }
+
+// ErrUnknownKey reports a Key naming a benchmark or setup that is not
+// registered with the session.
+var ErrUnknownKey = errors.New("harness: unknown benchmark or setup")
+
+// ErrPanic wraps a panic recovered from one simulation run. The panicking
+// run fails with the panic value and stack in Result.Err; the other runs of a
+// parallel sweep are unaffected.
+var ErrPanic = errors.New("harness: panic in simulation run")
 
 // Key identifies one simulation.
 type Key struct {
@@ -75,9 +95,15 @@ func (k Key) String() string {
 
 // Result is one simulation's outcome.
 type Result struct {
-	Key            Key
-	Cycles         memdef.Cycle
-	Crashed        bool
+	Key     Key
+	Cycles  memdef.Cycle
+	Crashed bool
+	// Err is the structured failure of the run, if any: ErrUnknownKey,
+	// ErrPanic (with the recovered value and stack), a typed driver error
+	// (uvm.ErrNoVictim, ...), an engine livelock error, or an integrity
+	// violation (*audit.IntegrityError). Crashed is always true when Err is
+	// non-nil; thrash aborts set Crashed with a nil Err.
+	Err            error
 	Accesses       uint64
 	FootprintPages int
 	CapacityPages  int
@@ -215,15 +241,27 @@ func (s *Session) CachedRuns() int {
 	return len(s.cache)
 }
 
-// runOne executes one simulation (no caching).
-func (s *Session) runOne(k Key) Result {
+// runOne executes one simulation (no caching). A panic anywhere in the run —
+// workload generation, machine construction, or the simulation itself — is
+// recovered into Result.Err, so one broken run degrades into one failed table
+// cell instead of killing the whole parallel sweep.
+func (s *Session) runOne(k Key) (out Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = Result{
+				Key:     k,
+				Crashed: true,
+				Err:     fmt.Errorf("%w: %v\n%s", ErrPanic, r, debug.Stack()),
+			}
+		}
+	}()
 	bench, ok := workload.ByAbbr(k.Bench)
 	if !ok {
-		panic(fmt.Sprintf("harness: unknown benchmark %q", k.Bench))
+		return Result{Key: k, Crashed: true, Err: fmt.Errorf("%w: benchmark %q", ErrUnknownKey, k.Bench)}
 	}
 	setup, ok := s.setups[k.Setup]
 	if !ok {
-		panic(fmt.Sprintf("harness: unknown setup %q", k.Setup))
+		return Result{Key: k, Crashed: true, Err: fmt.Errorf("%w: setup %q", ErrUnknownKey, k.Setup)}
 	}
 	generated := bench.Generate(workload.Options{
 		Scale:           s.cfg.Scale,
@@ -238,12 +276,14 @@ func (s *Session) runOne(k Key) Result {
 	pf := setup.NewPrefetcher(cfg)
 	machine := sm.NewMachine(cfg, policy, pf, generated.Warps)
 	machine.SetFootprint(generated.FootprintPages)
+	machine.SetWatchdog(s.cfg.WatchdogWindow)
 	res := machine.Run(s.cfg.MaxEvents)
 
-	out := Result{
+	out = Result{
 		Key:            k,
 		Cycles:         res.Cycles,
 		Crashed:        res.Crashed,
+		Err:            res.Err,
 		Accesses:       res.Accesses,
 		FootprintPages: generated.FootprintPages,
 		CapacityPages:  cfg.MemoryPages,
@@ -267,10 +307,20 @@ func (s *Session) runOne(k Key) Result {
 // RunTrace simulates a pre-recorded trace (instead of a generated Table II
 // workload) under the named setup at the given oversubscription rate. Trace
 // runs are not cached: the trace's identity is not part of a Key.
-func (s *Session) RunTrace(tr *trace.Trace, setupName string, oversubPct int) Result {
+func (s *Session) RunTrace(tr *trace.Trace, setupName string, oversubPct int) (out Result) {
+	k := Key{Bench: "trace", Setup: setupName, OversubPct: oversubPct}
+	defer func() {
+		if r := recover(); r != nil {
+			out = Result{
+				Key:     k,
+				Crashed: true,
+				Err:     fmt.Errorf("%w: %v\n%s", ErrPanic, r, debug.Stack()),
+			}
+		}
+	}()
 	setup, ok := s.setups[setupName]
 	if !ok {
-		panic(fmt.Sprintf("harness: unknown setup %q", setupName))
+		return Result{Key: k, Crashed: true, Err: fmt.Errorf("%w: setup %q", ErrUnknownKey, setupName)}
 	}
 	cfg := s.cfg.Base
 	cfg.MemoryPages = capacityFor(tr.FootprintPages, oversubPct)
@@ -279,12 +329,14 @@ func (s *Session) RunTrace(tr *trace.Trace, setupName string, oversubPct int) Re
 	pf := setup.NewPrefetcher(cfg)
 	machine := sm.NewMachine(cfg, policy, pf, tr.Warps)
 	machine.SetFootprint(tr.FootprintPages)
+	machine.SetWatchdog(s.cfg.WatchdogWindow)
 	res := machine.Run(s.cfg.MaxEvents)
 
-	out := Result{
-		Key:            Key{Bench: "trace", Setup: setupName, OversubPct: oversubPct},
+	out = Result{
+		Key:            k,
 		Cycles:         res.Cycles,
 		Crashed:        res.Crashed,
+		Err:            res.Err,
 		Accesses:       res.Accesses,
 		FootprintPages: tr.FootprintPages,
 		CapacityPages:  cfg.MemoryPages,

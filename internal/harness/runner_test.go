@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -45,17 +46,19 @@ func TestConfigDefaults(t *testing.T) {
 	}
 }
 
-func TestUnknownBenchOrSetupPanics(t *testing.T) {
+func TestUnknownBenchOrSetupFailsTyped(t *testing.T) {
 	s := NewSession(Config{Scale: 0.05, Warps: 8})
 	for _, k := range []Key{{"NOPE", "cppe", 50}, {"SRD", "nope", 50}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("no panic for %v", k)
-				}
-			}()
-			s.Run(k)
-		}()
+		r := s.Run(k)
+		if !r.Crashed {
+			t.Errorf("%v: not marked crashed", k)
+		}
+		if !errors.Is(r.Err, ErrUnknownKey) {
+			t.Errorf("%v: Err = %v, want ErrUnknownKey", k, r.Err)
+		}
+		if Speedup(r, r) != 0 {
+			t.Errorf("%v: failed run must not yield a speedup", k)
+		}
 	}
 }
 

@@ -1,0 +1,115 @@
+// Package inject implements seeded, deterministic fault injection at the
+// interconnect/UVM boundary, for chaos-testing the simulation integrity
+// layer (package audit) and the driver's recovery paths:
+//
+//   - delayed migration completions: the commit of a finished H2D transfer is
+//     postponed by a bounded, seeded number of cycles;
+//   - reordered migration completions: a commit is held back and delivered
+//     after the next one, exercising out-of-order commit handling;
+//   - transient far-fault service failures: a fault-service attempt fails and
+//     the driver must retry with bounded exponential backoff.
+//
+// All perturbations are drawn from one seeded PRNG in event-execution order,
+// so a given seed reproduces the exact same chaos schedule — failures found
+// under chaos are replayable. The injector only reshapes timing and retries;
+// it never corrupts state itself. Forced-corruption probes (to prove the
+// auditor fires) are the uvm.Manager.Corrupt probes, driven by chaos tests.
+package inject
+
+import (
+	"math/rand"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// Options parameterize the injector. The zero value of each probability
+// disables that perturbation; Defaults returns the standard chaos mix.
+type Options struct {
+	// Seed drives the PRNG. The injector is only built for non-zero seeds.
+	Seed int64
+	// DelayProb is the probability that a migration commit is delayed.
+	DelayProb float64
+	// MaxDelayCycles bounds the injected commit delay (uniform in [1, max]).
+	MaxDelayCycles memdef.Cycle
+	// ReorderProb is the probability that a migration commit is held back
+	// and delivered after the following commit.
+	ReorderProb float64
+	// FaultFailProb is the probability that a far-fault service attempt
+	// transiently fails and must be retried by the driver.
+	FaultFailProb float64
+	// MaxFailuresPerFault bounds consecutive failures of one fault, so every
+	// injected failure is recoverable by the driver's bounded retry.
+	MaxFailuresPerFault int
+}
+
+// Defaults returns the standard chaos mix for the given seed.
+func Defaults(seed int64) Options {
+	return Options{
+		Seed:                seed,
+		DelayProb:           0.10,
+		MaxDelayCycles:      5_000,
+		ReorderProb:         0.05,
+		FaultFailProb:       0.05,
+		MaxFailuresPerFault: 3,
+	}
+}
+
+// Stats counts the injected perturbations, so chaos tests can assert the
+// injector actually exercised each path.
+type Stats struct {
+	DelayedCommits   uint64
+	ReorderedCommits uint64
+	FaultFailures    uint64
+}
+
+// Injector implements the uvm.Injector perturbation hooks.
+type Injector struct {
+	opt   Options
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New returns an injector for the given options.
+func New(opt Options) *Injector {
+	return &Injector{opt: opt, rng: rand.New(rand.NewSource(opt.Seed))}
+}
+
+// CommitDelay returns the extra cycles to delay a migration commit by
+// (0 = deliver on time).
+func (in *Injector) CommitDelay() memdef.Cycle {
+	if in.opt.DelayProb <= 0 || in.opt.MaxDelayCycles == 0 {
+		return 0
+	}
+	if in.rng.Float64() >= in.opt.DelayProb {
+		return 0
+	}
+	in.stats.DelayedCommits++
+	return 1 + memdef.Cycle(in.rng.Int63n(int64(in.opt.MaxDelayCycles)))
+}
+
+// HoldCommit reports whether this migration commit should be held back and
+// delivered after the next commit.
+func (in *Injector) HoldCommit() bool {
+	if in.opt.ReorderProb <= 0 || in.rng.Float64() >= in.opt.ReorderProb {
+		return false
+	}
+	in.stats.ReorderedCommits++
+	return true
+}
+
+// FailFaultAttempt reports whether the attempt-th service attempt (0-based)
+// of a far fault transiently fails. Failures per fault are bounded, so the
+// driver's bounded exponential backoff always recovers.
+func (in *Injector) FailFaultAttempt(attempt int) bool {
+	if in.opt.FaultFailProb <= 0 || attempt >= in.opt.MaxFailuresPerFault {
+		return false
+	}
+	if in.rng.Float64() >= in.opt.FaultFailProb {
+		return false
+	}
+	in.stats.FaultFailures++
+	return true
+}
+
+// Stats returns the perturbation counters.
+func (in *Injector) Stats() Stats { return in.stats }

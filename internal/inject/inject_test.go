@@ -1,0 +1,55 @@
+package inject
+
+import "testing"
+
+// TestSeedDeterminism asserts the same seed yields the same draw sequence.
+func TestSeedDeterminism(t *testing.T) {
+	a, b := New(Defaults(99)), New(Defaults(99))
+	for i := 0; i < 10_000; i++ {
+		if a.CommitDelay() != b.CommitDelay() {
+			t.Fatalf("CommitDelay diverged at draw %d", i)
+		}
+		if a.HoldCommit() != b.HoldCommit() {
+			t.Fatalf("HoldCommit diverged at draw %d", i)
+		}
+		if a.FailFaultAttempt(i%4) != b.FailFaultAttempt(i%4) {
+			t.Fatalf("FailFaultAttempt diverged at draw %d", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	s := a.Stats()
+	if s.DelayedCommits == 0 || s.ReorderedCommits == 0 || s.FaultFailures == 0 {
+		t.Fatalf("default mix left a perturbation idle: %+v", s)
+	}
+}
+
+// TestFailureBoundPerFault asserts attempts at or past MaxFailuresPerFault
+// never fail, so the driver's bounded retry always recovers.
+func TestFailureBoundPerFault(t *testing.T) {
+	in := New(Options{Seed: 1, FaultFailProb: 1.0, MaxFailuresPerFault: 3})
+	for attempt := 0; attempt < 3; attempt++ {
+		if !in.FailFaultAttempt(attempt) {
+			t.Fatalf("attempt %d should fail with prob 1.0", attempt)
+		}
+	}
+	for attempt := 3; attempt < 10; attempt++ {
+		if in.FailFaultAttempt(attempt) {
+			t.Fatalf("attempt %d past the bound must succeed", attempt)
+		}
+	}
+}
+
+// TestDisabledPerturbations asserts zero-valued options draw nothing.
+func TestDisabledPerturbations(t *testing.T) {
+	in := New(Options{Seed: 5})
+	for i := 0; i < 1000; i++ {
+		if in.CommitDelay() != 0 || in.HoldCommit() || in.FailFaultAttempt(0) {
+			t.Fatal("disabled injector perturbed")
+		}
+	}
+	if in.Stats() != (Stats{}) {
+		t.Fatalf("disabled injector counted: %+v", in.Stats())
+	}
+}

@@ -120,6 +120,20 @@ type Config struct {
 	// baseline crashes for MVT/BIC) once total evicted pages exceed
 	// ThrashAbortFactor x footprint pages. Zero disables the detector.
 	ThrashAbortFactor int
+
+	// --- Simulation integrity (audit & chaos) ---
+
+	// AuditEveryCycles enables the integrity auditor with a periodic
+	// full-state check every AuditEveryCycles simulated cycles (plus scoped
+	// checks at migration commits and evictions). Zero disables auditing.
+	// Audit checks are read-only, so enabling them never changes results.
+	AuditEveryCycles Cycle
+	// ChaosSeed, when non-zero, arms the deterministic fault injector at the
+	// interconnect/UVM boundary: delayed and reordered migration completions
+	// and transient far-fault service failures (retried by the driver with
+	// bounded exponential backoff). The same seed reproduces the same
+	// perturbation sequence exactly.
+	ChaosSeed int64
 }
 
 // DefaultConfig returns the Table-I configuration with the event-model knobs
@@ -234,9 +248,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("memdef: IntervalPages must be a positive multiple of %d, got %d", ChunkPages, c.IntervalPages)
 	case c.MemoryPages < 0:
 		return fmt.Errorf("memdef: MemoryPages must be non-negative, got %d", c.MemoryPages)
+	case c.MemoryPages > 0 && c.MemoryPages < ChunkPages:
+		return fmt.Errorf("memdef: MemoryPages (%d) smaller than one chunk (%d pages); the driver migrates at chunk granularity", c.MemoryPages, ChunkPages)
+	case c.L1CacheLineSz <= 0 || !powerOfTwo(c.L1CacheLineSz):
+		return fmt.Errorf("memdef: L1CacheLineSz must be a positive power of two, got %d", c.L1CacheLineSz)
+	case c.L2CacheLineSz <= 0 || !powerOfTwo(c.L2CacheLineSz):
+		return fmt.Errorf("memdef: L2CacheLineSz must be a positive power of two, got %d", c.L2CacheLineSz)
 	}
 	return nil
 }
+
+// powerOfTwo reports whether n is a power of two (n > 0).
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // IntervalChunks is the number of chunk migrations per interval.
 func (c Config) IntervalChunks() int { return c.IntervalPages / ChunkPages }

@@ -29,6 +29,10 @@ func TestValidateCatchesBadFields(t *testing.T) {
 		{"PCIeGBs", func(c *Config) { c.PCIeGBs = 0 }},
 		{"IntervalPages", func(c *Config) { c.IntervalPages = 63 }},
 		{"MemoryPages", func(c *Config) { c.MemoryPages = -5 }},
+		{"MemoryPagesSubChunk", func(c *Config) { c.MemoryPages = ChunkPages - 1 }},
+		{"L1CacheLineSz", func(c *Config) { c.L1CacheLineSz = 0 }},
+		{"L1CacheLineSzNonPow2", func(c *Config) { c.L1CacheLineSz = 96 }},
+		{"L2CacheLineSzNonPow2", func(c *Config) { c.L2CacheLineSz = 100 }},
 	}
 	for _, m := range mutations {
 		cfg := DefaultConfig()

@@ -17,11 +17,14 @@ package sm
 
 import (
 	"fmt"
+	"time"
 
+	"github.com/reproductions/cppe/internal/audit"
 	"github.com/reproductions/cppe/internal/cache"
 	"github.com/reproductions/cppe/internal/dram"
 	"github.com/reproductions/cppe/internal/engine"
 	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/inject"
 	"github.com/reproductions/cppe/internal/memdef"
 	"github.com/reproductions/cppe/internal/prefetch"
 	"github.com/reproductions/cppe/internal/uvm"
@@ -128,6 +131,9 @@ type Machine struct {
 	stepWarp    func(uint64) // shared ScheduleArg trampoline: allWarps[g].step()
 	activeWarps int
 	finished    memdef.Cycle
+
+	aud *audit.Auditor
+	inj *inject.Injector
 }
 
 // NewMachine builds the full system with the given eviction policy and
@@ -150,6 +156,26 @@ func NewMachine(cfg memdef.Config, pol evict.Policy, pf prefetch.Prefetcher, tra
 
 	m := &Machine{Eng: eng, Cfg: cfg, L2: l2, DRAM: dr, Link: link, MMU: mmu, mp: mp}
 	m.stepWarp = func(g uint64) { m.allWarps[g].step() }
+	if cfg.AuditEveryCycles > 0 {
+		// Integrity auditing: periodic full-state checks run between events
+		// (read-only, so they never perturb event ordering or results).
+		aud := audit.New()
+		aud.SetClock(eng.Now)
+		mmu.AttachAuditor(aud)
+		eng.SetPeriodic(cfg.AuditEveryCycles, func() {
+			if aud.CheckNow("periodic") > 0 {
+				// Fail-stop: end the run with the structured violation
+				// instead of simulating corrupted state to completion.
+				mmu.Abort(aud.Err())
+			}
+		})
+		m.aud = aud
+	}
+	if cfg.ChaosSeed != 0 {
+		inj := inject.New(inject.Defaults(cfg.ChaosSeed))
+		mmu.SetInjector(inj)
+		m.inj = inj
+	}
 	for i := 0; i < cfg.NumSMs; i++ {
 		s := &SM{
 			id:      memdef.SMID(i),
@@ -198,6 +224,18 @@ func NewMachine(cfg memdef.Config, pol evict.Policy, pf prefetch.Prefetcher, tra
 // SetFootprint forwards the application footprint to the thrash detector.
 func (m *Machine) SetFootprint(pages int) { m.MMU.SetFootprint(pages) }
 
+// Auditor returns the integrity auditor, or nil when auditing is disabled
+// (Cfg.AuditEveryCycles == 0).
+func (m *Machine) Auditor() *audit.Auditor { return m.aud }
+
+// Injector returns the armed fault injector, or nil when chaos is disabled
+// (Cfg.ChaosSeed == 0).
+func (m *Machine) Injector() *inject.Injector { return m.inj }
+
+// SetWatchdog arms the engine's no-progress watchdog (see engine.SetWatchdog)
+// for the next Run. window <= 0 disarms it.
+func (m *Machine) SetWatchdog(window time.Duration) { m.Eng.SetWatchdog(window, 0) }
+
 // Result summarizes one simulation.
 type Result struct {
 	// Cycles is the total execution time in core cycles.
@@ -207,6 +245,12 @@ type Result struct {
 	Crashed bool
 	// Accesses is the total completed memory accesses.
 	Accesses uint64
+	// Err is the structured failure of the run, if any: a typed driver error
+	// (uvm.ErrNoVictim, uvm.ErrFaultService), an engine livelock error
+	// (engine.ErrBudget, engine.ErrNoProgress), or the first integrity
+	// violation (*audit.IntegrityError). Nil for clean runs — including
+	// thrash aborts, which are a modeled outcome, not a failure.
+	Err error
 }
 
 // Run executes the machine to completion and returns the result. maxEvents
@@ -224,15 +268,33 @@ func (m *Machine) Run(maxEvents uint64) Result {
 		}
 	}
 	_, err := m.Eng.Run(func() bool { return m.MMU.Aborted() })
+	if m.aud != nil {
+		// Close the audit window: catch corruption introduced after the last
+		// periodic tick. Read-only, so clean results are unchanged.
+		m.aud.CheckNow("final")
+	}
 	var accesses uint64
 	for _, s := range m.SMs {
 		accesses += s.accessesDone
 	}
-	return Result{
+	res := Result{
 		Cycles:   m.Eng.Now(),
 		Crashed:  m.MMU.Aborted() || err == engine.ErrBudget,
 		Accesses: accesses,
 	}
+	// Failure priority: typed driver failures, then engine livelock errors,
+	// then the first integrity violation.
+	res.Err = m.MMU.Failure()
+	if res.Err == nil && err != nil {
+		res.Err = err
+	}
+	if res.Err == nil && m.aud != nil {
+		res.Err = m.aud.Err()
+	}
+	if res.Err != nil {
+		res.Crashed = true
+	}
+	return res
 }
 
 // step issues the warp's next access, or retires the warp.

@@ -123,6 +123,16 @@ func (t *TLB) Invalidate(p memdef.PageNum) bool {
 	return false
 }
 
+// ForEachPage calls fn for every valid entry's page, without disturbing LRU
+// state or statistics. Audit/diagnostic use only.
+func (t *TLB) ForEachPage(fn func(memdef.PageNum)) {
+	for i := range t.entries {
+		if t.entries[i].valid {
+			fn(t.entries[i].page)
+		}
+	}
+}
+
 // Flush invalidates every entry.
 func (t *TLB) Flush() {
 	for i := range t.entries {

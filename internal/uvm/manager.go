@@ -17,9 +17,12 @@
 package uvm
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
+	"strings"
 
+	"github.com/reproductions/cppe/internal/audit"
 	"github.com/reproductions/cppe/internal/engine"
 	"github.com/reproductions/cppe/internal/evict"
 	"github.com/reproductions/cppe/internal/memdef"
@@ -81,6 +84,9 @@ type Stats struct {
 	EvictedChunks uint64
 	// DirtyPagesWrittenBack counts D2H write-back pages.
 	DirtyPagesWrittenBack uint64
+	// FaultRetries counts far-fault service attempts that transiently failed
+	// and were retried with backoff (non-zero only under fault injection).
+	FaultRetries uint64
 	// PeakResidentPages tracks the high-water mark of GPU memory use
 	// (the footprint, when capacity is unlimited).
 	PeakResidentPages int
@@ -174,6 +180,33 @@ type chunkMask struct {
 	mask memdef.PageBitmap
 }
 
+// ErrNoVictim reports that GPU memory filled to capacity with no evictable
+// chunk (pathological tiny capacities); the run aborts gracefully instead of
+// panicking, surfacing through Failure / Result.Err.
+var ErrNoVictim = errors.New("uvm: GPU memory exhausted with nothing evictable")
+
+// ErrFaultService reports that a far-fault service kept failing past the
+// driver's bounded retry budget (only reachable under fault injection).
+var ErrFaultService = errors.New("uvm: far-fault service failed after bounded retries")
+
+// maxFaultAttempts is the driver's hard retry budget per fault; injected
+// transient failures are bounded well below it, so it is a failsafe.
+const maxFaultAttempts = 8
+
+// Injector is the fault-injection hook set consulted at the xbus/UVM
+// boundary (see package inject for the standard implementation). All methods
+// must be deterministic functions of their call sequence.
+type Injector interface {
+	// CommitDelay returns extra cycles to delay a migration commit.
+	CommitDelay() memdef.Cycle
+	// HoldCommit reports whether to hold this commit until the next one
+	// (reordered completion delivery).
+	HoldCommit() bool
+	// FailFaultAttempt reports whether the attempt-th (0-based) service
+	// attempt of a far fault transiently fails.
+	FailFaultAttempt(attempt int) bool
+}
+
 // Manager is the GMMU plus the UVM driver runtime.
 type Manager struct {
 	eng    *engine.Engine
@@ -209,6 +242,25 @@ type Manager struct {
 
 	footprintPages int
 	aborted        bool
+	failure        error
+
+	// Conservation counters mirrored against the per-chunk bitmaps: the
+	// auditor recounts the bitmaps and compares. residentPages+inflightPages
+	// must always equal usedPages; pendingFaults counts claimed-but-unplanned
+	// faults.
+	residentPages int
+	inflightPages int
+	pendingFaults int
+
+	// aud, when non-nil, receives scoped transition checks at migration
+	// commits and evictions (the periodic full checks are engine-driven).
+	aud *audit.Auditor
+	// inj, when non-nil, perturbs fault service and commit delivery.
+	inj Injector
+	// heldCommit is a commit held back by the injector for reordering;
+	// heldGen guards the bounded-hold flush against releasing a later hold.
+	heldCommit func()
+	heldGen    uint64
 
 	stats Stats
 }
@@ -258,8 +310,31 @@ func New(eng *engine.Engine, cfg memdef.Config, link *xbus.Link, policy evict.Po
 func (m *Manager) SetFootprint(pages int) { m.footprintPages = pages }
 
 // Aborted reports whether the thrash detector fired (the modeled equivalent
-// of the baseline crashes the paper observed for MVT and BICG).
+// of the baseline crashes the paper observed for MVT and BICG) or the driver
+// hit an unrecoverable failure (see Failure).
 func (m *Manager) Aborted() bool { return m.aborted }
+
+// Failure returns the typed driver failure that aborted the run (ErrNoVictim,
+// ErrFaultService), or nil. Thrash aborts set Aborted without a failure.
+func (m *Manager) Failure() error { return m.failure }
+
+// fail records the first driver failure and aborts the run gracefully.
+func (m *Manager) fail(err error) {
+	if m.failure == nil {
+		m.failure = err
+	}
+	m.aborted = true
+}
+
+// SetInjector arms fault injection at the xbus/UVM boundary. Chaos use only;
+// must be called before any traffic.
+func (m *Manager) SetInjector(inj Injector) { m.inj = inj }
+
+// Abort fail-stops the run with err (first error wins). The machine uses it
+// to stop simulating on detected state corruption: an integrity violation
+// makes every later cycle meaningless, so the run ends with the structured
+// error instead of simulating garbage.
+func (m *Manager) Abort(err error) { m.fail(err) }
 
 // MemoryFull reports whether GPU memory has filled to capacity.
 func (m *Manager) MemoryFull() bool { return m.memoryFull }
@@ -396,16 +471,54 @@ func (m *Manager) handleFault(page memdef.PageNum, resume func()) {
 	}
 	m.stats.FaultEvents++
 	st.pendingFault = st.pendingFault.Set(idx)
+	m.pendingFaults++
 	st.addWaiter(idx, resume)
 	m.policy.OnFault(page.Chunk())
 	m.migSlots.Acquire(func() { m.processFault(page) })
 }
 
-// processFault plans and performs the migration for one claimed fault. It
-// runs holding a driver slot, which is released when the migration commits.
+// processFault services one claimed fault, retrying transient (injected)
+// service failures with bounded exponential backoff before planning.
 func (m *Manager) processFault(page memdef.PageNum) {
+	m.serviceFault(page, 0)
+}
+
+// retryBackoff returns the driver's backoff before the (attempt+1)-th
+// service attempt: a quarter of the fault service latency, doubling per
+// attempt, capped at 4x the service latency.
+func (m *Manager) retryBackoff(attempt int) memdef.Cycle {
+	base := m.cfg.FaultServiceCycles() / 4
+	if base == 0 {
+		base = 1
+	}
+	b := base << uint(attempt)
+	if max := base * 16; b > max {
+		b = max
+	}
+	return b
+}
+
+// serviceFault plans and performs the migration for one claimed fault. It
+// runs holding a driver slot, which is released when the migration commits.
+// attempt counts transient service failures already retried for this fault.
+func (m *Manager) serviceFault(page memdef.PageNum, attempt int) {
+	if m.inj != nil && m.inj.FailFaultAttempt(attempt) {
+		if attempt+1 >= maxFaultAttempts {
+			// Retry budget exhausted: abort the run gracefully (failsafe;
+			// injected failures are bounded below the budget).
+			m.fail(ErrFaultService)
+			m.migSlots.Release()
+			return
+		}
+		m.stats.FaultRetries++
+		engine.After(m.eng, m.retryBackoff(attempt), func() { m.serviceFault(page, attempt+1) })
+		return
+	}
 	st := m.chunkState(page.Chunk())
 	idx := page.Index()
+	if st.pendingFault.Has(idx) {
+		m.pendingFaults--
+	}
 	st.pendingFault = st.pendingFault.Clear(idx)
 	if st.resident.Has(idx) || st.inflight.Has(idx) {
 		// While this fault waited in the fault buffer, another migration
@@ -449,13 +562,18 @@ func (m *Manager) processFault(page memdef.PageNum) {
 					plan = []memdef.PageNum{page}
 					continue
 				}
-				panic("uvm: GPU memory exhausted with nothing evictable")
+				// Still no room for a single page: abort this run with a
+				// typed error instead of killing the whole sweep process.
+				m.fail(ErrNoVictim)
+				m.migSlots.Release()
+				return
 			}
 		}
 	}
 
 	// Reserve frames and mark the plan in flight.
 	m.usedPages += len(plan)
+	m.inflightPages += len(plan)
 	if m.usedPages > m.stats.PeakResidentPages {
 		m.stats.PeakResidentPages = m.usedPages
 	}
@@ -472,10 +590,59 @@ func (m *Manager) processFault(page memdef.PageNum) {
 	bytes := len(plan) * memdef.PageBytes
 	engine.After(m.eng, m.cfg.FaultServiceCycles(), func() {
 		m.link.Transfer(xbus.HostToDevice, bytes, func() {
-			m.commitMigration(plan)
-			m.migSlots.Release()
+			m.deliverCommit(func() {
+				m.commitMigration(plan)
+				m.migSlots.Release()
+			})
 		})
 	})
+}
+
+// heldFlushCycles bounds how long the injector may hold a commit for
+// reordering before it is force-delivered, so a hold at the tail of a run
+// can never strand its migration (and the warps waiting on it).
+const heldFlushCycles = memdef.Cycle(20_000)
+
+// deliverCommit delivers a completed migration's commit, applying the
+// injector's perturbations (extra delay, reordered delivery) when armed.
+// Commits are order-independent — plans are disjoint and their frames
+// already reserved — which is exactly what reordering exercises.
+func (m *Manager) deliverCommit(commit func()) {
+	if m.inj == nil {
+		commit()
+		return
+	}
+	if d := m.inj.CommitDelay(); d > 0 {
+		engine.After(m.eng, d, func() { m.deliverReordered(commit) })
+		return
+	}
+	m.deliverReordered(commit)
+}
+
+// deliverReordered applies the injector's hold-back reordering: a held
+// commit is delivered after the next one, and a bounded flush guarantees a
+// hold with no successor is still delivered.
+func (m *Manager) deliverReordered(commit func()) {
+	if held := m.heldCommit; held != nil {
+		m.heldCommit = nil
+		commit()
+		held()
+		return
+	}
+	if m.inj.HoldCommit() {
+		m.heldCommit = commit
+		m.heldGen++
+		gen := m.heldGen
+		engine.After(m.eng, heldFlushCycles, func() {
+			if m.heldCommit != nil && m.heldGen == gen {
+				c := m.heldCommit
+				m.heldCommit = nil
+				c()
+			}
+		})
+		return
+	}
+	commit()
 }
 
 // wake schedules all waiters registered for page.
@@ -564,6 +731,8 @@ func (m *Manager) commitMigration(plan []memdef.PageNum) {
 			byChunk = append(byChunk, chunkMask{c: c, mask: memdef.PageBitmap(0).Set(idx)})
 		}
 	}
+	m.inflightPages -= len(plan)
+	m.residentPages += len(plan)
 	m.stats.MigratedPages += uint64(len(plan))
 	m.stats.MigratedChunks++
 	for _, cm := range byChunk {
@@ -571,8 +740,40 @@ func (m *Manager) commitMigration(plan []memdef.PageNum) {
 	}
 	m.migBuf = byChunk[:0]
 	m.pf.OnMigrate(plan)
+	m.auditTransition("migration-commit")
 	for _, p := range plan {
 		m.wake(p)
+	}
+}
+
+// auditTransition runs the O(1) scoped conservation checks at a transition
+// point (migration commit, eviction). The full O(n) recounts run only at the
+// engine-driven periodic cadence, so transitions stay cheap.
+func (m *Manager) auditTransition(trigger string) {
+	if m.aud == nil {
+		return
+	}
+	if m.residentPages+m.inflightPages != m.usedPages {
+		m.aud.Report(audit.ClassCapacity, "uvm-conservation", trigger,
+			fmt.Sprintf("resident (%d) + inflight (%d) != usedPages (%d)",
+				m.residentPages, m.inflightPages, m.usedPages))
+	}
+	if m.capacityPages > 0 && m.usedPages > m.capacityPages {
+		m.aud.Report(audit.ClassCapacity, "capacity-bound", trigger,
+			fmt.Sprintf("usedPages (%d) exceeds capacity (%d)", m.usedPages, m.capacityPages))
+	}
+	if mapped := m.table.Mapped(); mapped != m.residentPages {
+		m.aud.Report(audit.ClassCapacity, "pagetable-residency", trigger,
+			fmt.Sprintf("page table maps %d pages, residency counter says %d", mapped, m.residentPages))
+	}
+	if m.pendingFaults < 0 {
+		m.aud.Report(audit.ClassPendingFault, "pending-count", trigger,
+			fmt.Sprintf("pending-fault counter negative: %d", m.pendingFaults))
+	}
+	if err := m.aud.Err(); err != nil && m.failure == nil {
+		// Fail-stop: a violated invariant makes the rest of the run
+		// meaningless.
+		m.fail(err)
 	}
 }
 
@@ -635,6 +836,7 @@ func (m *Manager) evictChunk(victim memdef.ChunkID) {
 	untouch := (st.resident &^ st.touched).Count()
 	touched := st.resident & st.touched
 	m.usedPages -= n
+	m.residentPages -= n
 	m.stats.EvictedChunks++
 	m.stats.EvictedPages += uint64(n)
 	// Zero the residency state but keep the entry: pending faults and their
@@ -648,6 +850,7 @@ func (m *Manager) evictChunk(victim memdef.ChunkID) {
 
 	m.policy.OnEvicted(victim, untouch)
 	m.pf.OnEvict(victim, touched, untouch)
+	m.auditTransition("eviction")
 
 	if dirtyBytes > 0 {
 		m.link.Transfer(xbus.DeviceToHost, dirtyBytes, nil)
@@ -681,6 +884,229 @@ func (m *Manager) allocFrame() pagetable.FrameNum {
 
 func (m *Manager) freeFrame(f pagetable.FrameNum) {
 	m.freeFrames = append(m.freeFrames, f)
+}
+
+// AttachAuditor registers the manager's invariant catalogue with a and wires
+// its diagnostic snapshot. The registered checks are read-only full-state
+// recounts meant for the engine's periodic cadence; the scoped O(1)
+// transition checks (auditTransition) reuse the same auditor. Link transfer
+// tracking is enabled so the link-inflight check has data.
+func (m *Manager) AttachAuditor(a *audit.Auditor) {
+	m.aud = a
+	m.link.EnableTracking()
+	a.SetSnapshot(m.auditSnapshot)
+	a.Register(audit.ClassCapacity, "uvm-conservation", m.checkConservation)
+	a.Register(audit.ClassChain, "chain-residency", m.checkChain)
+	a.Register(audit.ClassTLB, "tlb-residency", m.checkTLB)
+	a.Register(audit.ClassPendingFault, "pending-faults", m.checkPending)
+	a.Register(audit.ClassLink, "link-inflight", m.link.CheckIntegrity)
+}
+
+// recount re-derives the conservation sums from the per-chunk bitmaps (the
+// ground truth the mirrored counters must match).
+func (m *Manager) recount() (resident, inflight, pending int) {
+	for _, st := range m.chunkTab {
+		if st == nil {
+			continue
+		}
+		resident += st.resident.Count()
+		inflight += st.inflight.Count()
+		pending += st.pendingFault.Count()
+	}
+	return resident, inflight, pending
+}
+
+// checkConservation verifies resident/in-flight page conservation against the
+// capacity accounting and the page table.
+func (m *Manager) checkConservation() string {
+	resident, inflight, _ := m.recount()
+	switch {
+	case resident != m.residentPages:
+		return fmt.Sprintf("resident bitmap recount %d != counter %d", resident, m.residentPages)
+	case inflight != m.inflightPages:
+		return fmt.Sprintf("inflight bitmap recount %d != counter %d", inflight, m.inflightPages)
+	case resident+inflight != m.usedPages:
+		return fmt.Sprintf("resident (%d) + inflight (%d) != usedPages (%d)", resident, inflight, m.usedPages)
+	case m.capacityPages > 0 && m.usedPages > m.capacityPages:
+		return fmt.Sprintf("usedPages (%d) exceeds capacity (%d)", m.usedPages, m.capacityPages)
+	case m.table.Mapped() != resident:
+		return fmt.Sprintf("page table maps %d pages, resident recount is %d", m.table.Mapped(), resident)
+	}
+	return ""
+}
+
+// checkChain verifies the eviction policy's bookkeeping against residency:
+// the tracked set must be exactly the chunks with resident pages.
+func (m *Manager) checkChain() string {
+	tr, ok := m.policy.(evict.Tracked)
+	if !ok {
+		return ""
+	}
+	tracked := tr.TrackedChunks()
+	seen := make(map[memdef.ChunkID]bool, len(tracked))
+	for _, c := range tracked {
+		if seen[c] {
+			return fmt.Sprintf("policy %q tracks chunk %d twice", m.policy.Name(), c)
+		}
+		seen[c] = true
+		st := m.lookupChunk(c)
+		if st == nil || st.resident == 0 {
+			return fmt.Sprintf("policy %q tracks chunk %d with no resident pages", m.policy.Name(), c)
+		}
+	}
+	for i, st := range m.chunkTab {
+		if st == nil || st.resident == 0 {
+			continue
+		}
+		if c := m.chunkBase + memdef.ChunkID(i); !seen[c] {
+			return fmt.Sprintf("resident chunk %d not tracked by policy %q", c, m.policy.Name())
+		}
+	}
+	return ""
+}
+
+// checkTLB verifies no L1/L2 TLB entry maps a non-resident page (a missed
+// shootdown would let stale translations hide future far faults).
+func (m *Manager) checkTLB() string {
+	bad := ""
+	scan := func(name string) func(memdef.PageNum) {
+		return func(p memdef.PageNum) {
+			if bad != "" {
+				return
+			}
+			st := m.lookupChunk(p.Chunk())
+			if st == nil || !st.resident.Has(p.Index()) {
+				bad = fmt.Sprintf("%s maps non-resident page %d", name, p)
+			}
+		}
+	}
+	m.l2tlb.ForEachPage(scan("l2tlb"))
+	for i, t := range m.l1tlbs {
+		if bad != "" {
+			break
+		}
+		t.ForEachPage(scan(fmt.Sprintf("l1tlb-sm%d", i)))
+	}
+	return bad
+}
+
+// checkPending verifies the fault-buffer invariants: the pending-fault bitmap
+// population matches the claimed-fault counter, and every claimed page not
+// covered by a migration still has waiters to wake.
+func (m *Manager) checkPending() string {
+	pending := 0
+	for i, st := range m.chunkTab {
+		if st == nil || st.pendingFault == 0 {
+			continue
+		}
+		pending += st.pendingFault.Count()
+		for rem := st.pendingFault; rem != 0; {
+			idx := bits.TrailingZeros16(uint16(rem))
+			rem &^= 1 << uint(idx)
+			if st.resident.Has(idx) || st.inflight.Has(idx) {
+				// Another fault's plan covered this claimed page; its commit
+				// wakes the waiters.
+				continue
+			}
+			if st.waiters == nil || len(st.waiters[idx]) == 0 {
+				c := m.chunkBase + memdef.ChunkID(i)
+				return fmt.Sprintf("pending fault on page %d has no waiters", c.Page(idx))
+			}
+		}
+	}
+	if pending != m.pendingFaults {
+		return fmt.Sprintf("pending-fault bitmap recount %d != counter %d", pending, m.pendingFaults)
+	}
+	return ""
+}
+
+// auditSnapshot captures the diagnostic state dump attached to integrity
+// errors: global accounting plus a bounded per-chunk bitmap dump.
+func (m *Manager) auditSnapshot() audit.Snapshot {
+	resident, inflight, pending := m.recount()
+	s := audit.Snapshot{
+		UsedPages:     m.usedPages,
+		CapacityPages: m.capacityPages,
+		ResidentPages: resident,
+		InflightPages: inflight,
+		PendingFaults: pending,
+	}
+	if tr, ok := m.policy.(evict.Tracked); ok {
+		s.TrackedChunks = len(tr.TrackedChunks())
+	}
+	const maxDump = 16
+	var b strings.Builder
+	dumped := 0
+	for i, st := range m.chunkTab {
+		if st == nil || st.resident|st.inflight|st.pendingFault == 0 {
+			continue
+		}
+		if dumped == maxDump {
+			b.WriteString("... (dump truncated)")
+			break
+		}
+		fmt.Fprintf(&b, "chunk %d: resident=%04x inflight=%04x pending=%04x touched=%04x\n",
+			m.chunkBase+memdef.ChunkID(i), uint16(st.resident), uint16(st.inflight),
+			uint16(st.pendingFault), uint16(st.touched))
+		dumped++
+	}
+	s.Detail = strings.TrimRight(b.String(), "\n")
+	return s
+}
+
+// CorruptKind selects a forced-corruption probe (see Corrupt).
+type CorruptKind int
+
+const (
+	// CorruptAccounting inflates usedPages with no backing pages.
+	CorruptAccounting CorruptKind = iota
+	// CorruptResidentBit clears a resident bit behind the accounting's back.
+	CorruptResidentBit
+	// CorruptTLB inserts an L2 TLB entry for a never-resident page.
+	CorruptTLB
+	// CorruptChain makes the eviction policy forget a resident chunk.
+	CorruptChain
+	// CorruptPendingFault inflates the claimed-fault counter.
+	CorruptPendingFault
+)
+
+// Corrupt deliberately breaks one invariant, returning the audit class whose
+// checks must catch it and whether the corruption could be applied (probes
+// needing resident state report false on an empty machine). Chaos tests use
+// it to prove the auditor detects each corruption class; it has no other use.
+func (m *Manager) Corrupt(kind CorruptKind) (audit.Class, bool) {
+	switch kind {
+	case CorruptAccounting:
+		m.usedPages++
+		return audit.ClassCapacity, true
+	case CorruptResidentBit:
+		for _, st := range m.chunkTab {
+			if st == nil || st.resident == 0 {
+				continue
+			}
+			idx := bits.TrailingZeros16(uint16(st.resident))
+			st.resident = st.resident.Clear(idx)
+			return audit.ClassCapacity, true
+		}
+		return audit.ClassCapacity, false
+	case CorruptTLB:
+		ghost := (m.chunkBase + memdef.ChunkID(len(m.chunkTab))).Page(0)
+		m.l2tlb.Insert(ghost)
+		return audit.ClassTLB, true
+	case CorruptChain:
+		for i, st := range m.chunkTab {
+			if st == nil || st.resident == 0 {
+				continue
+			}
+			m.policy.OnEvicted(m.chunkBase+memdef.ChunkID(i), 0)
+			return audit.ClassChain, true
+		}
+		return audit.ClassChain, false
+	case CorruptPendingFault:
+		m.pendingFaults++
+		return audit.ClassPendingFault, true
+	}
+	return "", false
 }
 
 // Stats returns a snapshot of the manager's counters.

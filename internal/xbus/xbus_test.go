@@ -106,3 +106,73 @@ func TestDirectionString(t *testing.T) {
 		t.Fatal("direction strings wrong")
 	}
 }
+
+func TestTrackingInflightBytes(t *testing.T) {
+	e := engine.New()
+	cfg := memdef.DefaultConfig()
+	l := New(e, cfg)
+	l.EnableTracking()
+	page := cfg.TransferCycles(memdef.PageBytes, cfg.PCIeGBs)
+	e.Schedule(0, func() {
+		l.Transfer(HostToDevice, memdef.PageBytes, nil)
+		l.Transfer(HostToDevice, memdef.PageBytes, nil)
+		if got := l.InflightBytes(HostToDevice); got != 2*memdef.PageBytes {
+			t.Errorf("inflight = %d, want %d", got, 2*memdef.PageBytes)
+		}
+		if msg := l.CheckIntegrity(); msg != "" {
+			t.Errorf("integrity violated mid-flight: %s", msg)
+		}
+	})
+	// After the first transfer completes, only the second is in flight.
+	e.Schedule(page, func() {
+		if got := l.InflightBytes(HostToDevice); got != memdef.PageBytes {
+			t.Errorf("inflight after first completion = %d, want %d", got, memdef.PageBytes)
+		}
+		if msg := l.CheckIntegrity(); msg != "" {
+			t.Errorf("integrity violated after completion: %s", msg)
+		}
+	})
+	// At the second completion, nothing is left in flight.
+	e.Schedule(2*page, func() {
+		if got := l.InflightBytes(HostToDevice); got != 0 {
+			t.Errorf("inflight after drain = %d, want 0", got)
+		}
+	})
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckIntegrityDetectsOverbooking(t *testing.T) {
+	e := engine.New()
+	cfg := memdef.DefaultConfig()
+	l := New(e, cfg)
+	l.EnableTracking()
+	e.Schedule(0, func() {
+		l.Transfer(DeviceToHost, memdef.PageBytes, nil)
+		l.Transfer(DeviceToHost, memdef.PageBytes, nil)
+		// Corrupt the bookkeeping: pull the second completion up to the
+		// first's, as if both pages moved in one transfer's worth of time —
+		// more bytes in flight than the link has bandwidth for.
+		q := l.outstanding[DeviceToHost]
+		q[1].finish = q[0].finish
+		if msg := l.CheckIntegrity(); msg == "" {
+			t.Error("overbooked link not detected")
+		}
+	})
+	if _, err := e.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckIntegrityDisabledWithoutTracking(t *testing.T) {
+	e := engine.New()
+	l := New(e, memdef.DefaultConfig())
+	l.Transfer(HostToDevice, memdef.PageBytes, nil)
+	if msg := l.CheckIntegrity(); msg != "" {
+		t.Fatalf("untracked link reported: %s", msg)
+	}
+	if len(l.outstanding[HostToDevice]) != 0 {
+		t.Fatal("untracked link recorded outstanding transfers")
+	}
+}
