@@ -412,7 +412,11 @@ func (s *Session) ExperimentBars(id string) (string, error) {
 	}
 	var b strings.Builder
 	for _, c := range cols {
-		b.WriteString(stats.BarsFromTable(t, 0, c, 40))
+		bars, err := stats.BarsFromTable(t, 0, c, 40)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(bars)
 		b.WriteByte('\n')
 	}
 	return b.String(), nil

@@ -41,8 +41,10 @@ type Instance struct {
 	Prefetcher *prefetch.Pattern
 }
 
-// New builds a CPPE instance from the system configuration.
-func New(cfg memdef.Config, opt Options) *Instance {
+// New builds a CPPE instance from the system configuration. Invalid options
+// (an unknown deletion scheme) are returned as an error so setup-construction
+// failures surface through harness Result.Err.
+func New(cfg memdef.Config, opt Options) (*Instance, error) {
 	if opt.Scheme == 0 {
 		opt.Scheme = prefetch.Scheme2
 	}
@@ -62,10 +64,14 @@ func New(cfg memdef.Config, opt Options) *Instance {
 	if mo.IntervalPages == 0 {
 		mo.IntervalPages = cfg.IntervalPages
 	}
+	pf, err := prefetch.NewPattern(opt.Scheme, opt.PatternMinUntouch)
+	if err != nil {
+		return nil, err
+	}
 	return &Instance{
 		Policy:     evict.NewMHPE(mo),
-		Prefetcher: prefetch.NewPattern(opt.Scheme, opt.PatternMinUntouch),
-	}
+		Prefetcher: pf,
+	}, nil
 }
 
 // entryBytes is the Section VI-C cost of one structure entry: an 8-byte tag
@@ -105,12 +111,14 @@ func (i *Instance) Overhead() Overhead {
 
 // Setup names one (eviction policy, prefetcher) combination from the
 // evaluation. NewPolicy takes a deterministic seed (only Random uses it).
+// Construction errors flow to the harness, which fails the single run's
+// Result.Err instead of aborting a whole sweep.
 type Setup struct {
 	Name string
 	// Description says which figure/table the setup appears in.
 	Description   string
-	NewPolicy     func(cfg memdef.Config, seed int64) evict.Policy
-	NewPrefetcher func(cfg memdef.Config) prefetch.Prefetcher
+	NewPolicy     func(cfg memdef.Config, seed int64) (evict.Policy, error)
+	NewPrefetcher func(cfg memdef.Config) (prefetch.Prefetcher, error)
 }
 
 // The named setups of the evaluation.
@@ -121,9 +129,9 @@ var (
 	SetupBaseline = Setup{
 		Name:        "baseline",
 		Description: "LRU + locality prefetch (Ganguly et al. [16])",
-		NewPolicy:   func(memdef.Config, int64) evict.Policy { return evict.NewLRU() },
-		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
-			return prefetch.NewLocality()
+		NewPolicy:   func(memdef.Config, int64) (evict.Policy, error) { return evict.NewLRU(), nil },
+		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+			return prefetch.NewLocality(), nil
 		},
 	}
 
@@ -131,10 +139,14 @@ var (
 	SetupCPPE = Setup{
 		Name:        "cppe",
 		Description: "MHPE + pattern-aware prefetch, Scheme-2 (this paper)",
-		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
-			return New(cfg, Options{Scheme: prefetch.Scheme2}).Policy
+		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
+			inst, err := New(cfg, Options{Scheme: prefetch.Scheme2})
+			if err != nil {
+				return nil, err
+			}
+			return inst.Policy, nil
 		},
-		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+		NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
 			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
 		},
 	}
@@ -143,10 +155,14 @@ var (
 	SetupCPPES1 = Setup{
 		Name:        "cppe-s1",
 		Description: "MHPE + pattern-aware prefetch, Scheme-1 (Fig. 7)",
-		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
-			return New(cfg, Options{Scheme: prefetch.Scheme1}).Policy
+		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
+			inst, err := New(cfg, Options{Scheme: prefetch.Scheme1})
+			if err != nil {
+				return nil, err
+			}
+			return inst.Policy, nil
 		},
-		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+		NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
 			return prefetch.NewPattern(prefetch.Scheme1, cfg.PatternMinUntouch)
 		},
 	}
@@ -155,11 +171,11 @@ var (
 	SetupRandom = Setup{
 		Name:        "random",
 		Description: "Random eviction + locality prefetch (Fig. 3/9)",
-		NewPolicy: func(_ memdef.Config, seed int64) evict.Policy {
-			return evict.NewRandom(seed)
+		NewPolicy: func(_ memdef.Config, seed int64) (evict.Policy, error) {
+			return evict.NewRandom(seed), nil
 		},
-		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
-			return prefetch.NewLocality()
+		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+			return prefetch.NewLocality(), nil
 		},
 	}
 
@@ -167,9 +183,9 @@ var (
 	SetupDisableOnFull = Setup{
 		Name:        "disable-on-full",
 		Description: "LRU + prefetch disabled when memory full (Fig. 10)",
-		NewPolicy:   func(memdef.Config, int64) evict.Policy { return evict.NewLRU() },
-		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
-			return prefetch.NewDisableOnFull()
+		NewPolicy:   func(memdef.Config, int64) (evict.Policy, error) { return evict.NewLRU(), nil },
+		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+			return prefetch.NewDisableOnFull(), nil
 		},
 	}
 
@@ -178,11 +194,11 @@ var (
 	SetupHPE = Setup{
 		Name:        "hpe",
 		Description: "original HPE + locality prefetch (Inefficiency 1 ablation)",
-		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
-			return evict.NewHPE(evict.HPEOptions{IntervalPages: cfg.IntervalPages})
+		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
+			return evict.NewHPE(evict.HPEOptions{IntervalPages: cfg.IntervalPages}), nil
 		},
-		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
-			return prefetch.NewLocality()
+		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+			return prefetch.NewLocality(), nil
 		},
 	}
 
@@ -191,9 +207,9 @@ var (
 	SetupTree = Setup{
 		Name:        "tree",
 		Description: "LRU + tree-based neighborhood prefetch (ablation)",
-		NewPolicy:   func(memdef.Config, int64) evict.Policy { return evict.NewLRU() },
-		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
-			return prefetch.NewTree()
+		NewPolicy:   func(memdef.Config, int64) (evict.Policy, error) { return evict.NewLRU(), nil },
+		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+			return prefetch.NewTree(), nil
 		},
 	}
 )
@@ -204,9 +220,9 @@ var (
 var SetupTrueLRU = Setup{
 	Name:        "true-lru",
 	Description: "oracle touch-recency LRU + locality prefetch (visibility ablation)",
-	NewPolicy:   func(memdef.Config, int64) evict.Policy { return evict.NewTrueLRU() },
-	NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
-		return prefetch.NewLocality()
+	NewPolicy:   func(memdef.Config, int64) (evict.Policy, error) { return evict.NewTrueLRU(), nil },
+	NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+		return prefetch.NewLocality(), nil
 	},
 }
 
@@ -216,13 +232,13 @@ func SetupCPPEInterval(pages int) Setup {
 	return Setup{
 		Name:        fmt.Sprintf("cppe-int-%d", pages),
 		Description: "CPPE with overridden interval length (design ablation)",
-		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
 			return evict.NewMHPE(evict.MHPEOptions{
 				T1: cfg.T1, T2: cfg.T2, T3: cfg.T3,
 				IntervalPages: pages,
-			})
+			}), nil
 		},
-		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+		NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
 			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
 		},
 	}
@@ -234,14 +250,14 @@ func SetupCPPEBuffer(capacity int) Setup {
 	return Setup{
 		Name:        fmt.Sprintf("cppe-buf-%d", capacity),
 		Description: "CPPE with fixed wrong-eviction buffer (design ablation)",
-		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
 			return evict.NewMHPE(evict.MHPEOptions{
 				T1: cfg.T1, T2: cfg.T2, T3: cfg.T3,
 				IntervalPages:  cfg.IntervalPages,
 				FixedBufferCap: capacity,
-			})
+			}), nil
 		},
-		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+		NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
 			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
 		},
 	}
@@ -253,14 +269,14 @@ func SetupCPPEFwd(initial int) Setup {
 	return Setup{
 		Name:        fmt.Sprintf("cppe-fwd-%d", initial),
 		Description: "CPPE with fixed initial forward distance (design ablation)",
-		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
 			return evict.NewMHPE(evict.MHPEOptions{
 				T1: cfg.T1, T2: cfg.T2, T3: cfg.T3,
 				IntervalPages:          cfg.IntervalPages,
 				InitialForwardDistance: initial,
-			})
+			}), nil
 		},
-		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+		NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
 			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
 		},
 	}
@@ -272,11 +288,11 @@ func SetupReservedLRU(fraction float64) Setup {
 	return Setup{
 		Name:        fmt.Sprintf("lru-%d%%", int(fraction*100+0.5)),
 		Description: "reserved LRU + locality prefetch (Fig. 3/9)",
-		NewPolicy: func(_ memdef.Config, _ int64) evict.Policy {
-			return evict.NewReservedLRU(fraction)
+		NewPolicy: func(_ memdef.Config, _ int64) (evict.Policy, error) {
+			return evict.NewReservedLRU(fraction), nil
 		},
-		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
-			return prefetch.NewLocality()
+		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+			return prefetch.NewLocality(), nil
 		},
 	}
 }
@@ -287,15 +303,15 @@ func SetupMHPEProbe() Setup {
 	return Setup{
 		Name:        "mhpe-probe",
 		Description: "MHPE probe mode (MRU frozen) for Tables III/IV",
-		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
 			return evict.NewMHPE(evict.MHPEOptions{
 				T1: cfg.T1, T2: cfg.T2, T3: cfg.T3,
 				IntervalPages: cfg.IntervalPages,
 				DisableSwitch: true,
-			})
+			}), nil
 		},
-		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
-			return prefetch.NewLocality()
+		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+			return prefetch.NewLocality(), nil
 		},
 	}
 }
@@ -306,13 +322,13 @@ func SetupCPPET3(t3 int) Setup {
 	return Setup{
 		Name:        fmt.Sprintf("cppe-t3-%d", t3),
 		Description: "CPPE with forward-distance limit override (T3 sweep)",
-		NewPolicy: func(cfg memdef.Config, _ int64) evict.Policy {
+		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
 			return evict.NewMHPE(evict.MHPEOptions{
 				T1: cfg.T1, T2: cfg.T2, T3: t3,
 				IntervalPages: cfg.IntervalPages,
-			})
+			}), nil
 		},
-		NewPrefetcher: func(cfg memdef.Config) prefetch.Prefetcher {
+		NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
 			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
 		},
 	}

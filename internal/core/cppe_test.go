@@ -10,7 +10,10 @@ import (
 
 func TestNewDefaultsFromConfig(t *testing.T) {
 	cfg := memdef.DefaultConfig()
-	inst := New(cfg, Options{})
+	inst, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if inst.Policy == nil || inst.Prefetcher == nil {
 		t.Fatal("nil components")
 	}
@@ -24,10 +27,13 @@ func TestNewDefaultsFromConfig(t *testing.T) {
 
 func TestNewRespectsOverrides(t *testing.T) {
 	cfg := memdef.DefaultConfig()
-	inst := New(cfg, Options{
+	inst, err := New(cfg, Options{
 		Scheme: prefetch.Scheme1,
 		MHPE:   evict.MHPEOptions{T3: 16},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if inst.Prefetcher.Scheme() != prefetch.Scheme1 {
 		t.Fatal("scheme override ignored")
 	}
@@ -35,7 +41,10 @@ func TestNewRespectsOverrides(t *testing.T) {
 
 func TestOverheadAccounting(t *testing.T) {
 	cfg := memdef.DefaultConfig()
-	inst := New(cfg, Options{})
+	inst, err := New(cfg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Drive the policy a little: migrate 130 chunks, trigger memory full.
 	for i := 0; i < 130; i++ {
 		inst.Policy.OnMigrate(memdef.ChunkID(i), memdef.FullBitmap)
@@ -78,15 +87,22 @@ func TestSetupsConstructDistinctInstances(t *testing.T) {
 			t.Fatalf("bad/duplicate setup name %q", s.Name)
 		}
 		names[s.Name] = true
-		p1 := s.NewPolicy(cfg, 1)
-		p2 := s.NewPolicy(cfg, 1)
+		p1, err1 := s.NewPolicy(cfg, 1)
+		p2, err2 := s.NewPolicy(cfg, 1)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: policy error: %v %v", s.Name, err1, err2)
+		}
 		if p1 == nil || p2 == nil {
 			t.Fatalf("%s: nil policy", s.Name)
 		}
 		if p1 == p2 {
 			t.Fatalf("%s: policy factory returned shared instance", s.Name)
 		}
-		if s.NewPrefetcher(cfg) == nil {
+		pf, err := s.NewPrefetcher(cfg)
+		if err != nil {
+			t.Fatalf("%s: prefetcher error: %v", s.Name, err)
+		}
+		if pf == nil {
 			t.Fatalf("%s: nil prefetcher", s.Name)
 		}
 	}
@@ -106,7 +122,11 @@ func TestSetupNames(t *testing.T) {
 
 func TestProbeSetupFrozenAtMRU(t *testing.T) {
 	cfg := memdef.DefaultConfig()
-	pol := SetupMHPEProbe().NewPolicy(cfg, 0).(*evict.MHPE)
+	p, err := SetupMHPEProbe().NewPolicy(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := p.(*evict.MHPE)
 	for i := 0; i < 12; i++ {
 		pol.OnMigrate(memdef.ChunkID(i), memdef.FullBitmap)
 	}

@@ -7,6 +7,16 @@ import (
 	"github.com/reproductions/cppe/internal/memdef"
 )
 
+// mustPolicy unwraps a Setup policy constructor in tests.
+func mustPolicy(t *testing.T, s Setup, cfg memdef.Config, seed int64) evict.Policy {
+	t.Helper()
+	p, err := s.NewPolicy(cfg, seed)
+	if err != nil {
+		t.Fatalf("%s: NewPolicy: %v", s.Name, err)
+	}
+	return p
+}
+
 func drive(p evict.Policy, chunks int) {
 	for i := 0; i < chunks; i++ {
 		p.OnMigrate(memdef.ChunkID(i), memdef.FullBitmap)
@@ -18,11 +28,11 @@ func TestSetupCPPEIntervalOverride(t *testing.T) {
 	cfg := memdef.DefaultConfig()
 	// Interval 32 pages = 2 chunk migrations per interval: after 8 chunks
 	// the policy has seen 4 intervals (vs 2 at the default 64).
-	pol := SetupCPPEInterval(32).NewPolicy(cfg, 0).(*evict.MHPE)
+	pol := mustPolicy(t, SetupCPPEInterval(32), cfg, 0).(*evict.MHPE)
 	drive(pol, 12)
 	// Interval count is internal; verify via partitioning: with interval 32
 	// the old partition after 12 migrations is larger than with 128.
-	pol128 := SetupCPPEInterval(128).NewPolicy(cfg, 0).(*evict.MHPE)
+	pol128 := mustPolicy(t, SetupCPPEInterval(128), cfg, 0).(*evict.MHPE)
 	drive(pol128, 12)
 	v32, _ := pol.SelectVictim(func(memdef.ChunkID) bool { return false })
 	v128, ok := pol128.SelectVictim(func(memdef.ChunkID) bool { return false })
@@ -36,7 +46,7 @@ func TestSetupCPPEIntervalOverride(t *testing.T) {
 
 func TestSetupCPPEBufferOverride(t *testing.T) {
 	cfg := memdef.DefaultConfig()
-	pol := SetupCPPEBuffer(128).NewPolicy(cfg, 0).(*evict.MHPE)
+	pol := mustPolicy(t, SetupCPPEBuffer(128), cfg, 0).(*evict.MHPE)
 	drive(pol, 64) // scaled rule would give max(8, 8*64/64) = 8
 	if got := pol.Stats().BufferCap; got != 128 {
 		t.Fatalf("buffer cap = %d, want 128", got)
@@ -45,7 +55,7 @@ func TestSetupCPPEBufferOverride(t *testing.T) {
 
 func TestSetupCPPEFwdOverride(t *testing.T) {
 	cfg := memdef.DefaultConfig()
-	pol := SetupCPPEFwd(7).NewPolicy(cfg, 0).(*evict.MHPE)
+	pol := mustPolicy(t, SetupCPPEFwd(7), cfg, 0).(*evict.MHPE)
 	drive(pol, 300) // chainLen/100 rule would give 3
 	if got := pol.ForwardDistance(); got != 7 {
 		t.Fatalf("forward = %d, want 7", got)
@@ -54,11 +64,15 @@ func TestSetupCPPEFwdOverride(t *testing.T) {
 
 func TestSetupTrueLRUConstructs(t *testing.T) {
 	cfg := memdef.DefaultConfig()
-	pol := SetupTrueLRU.NewPolicy(cfg, 0)
+	pol := mustPolicy(t, SetupTrueLRU, cfg, 0)
 	if pol.Name() != "true-lru" {
 		t.Fatalf("name = %q", pol.Name())
 	}
-	if SetupTrueLRU.NewPrefetcher(cfg).Name() != "locality" {
+	pf, err := SetupTrueLRU.NewPrefetcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pf.Name() != "locality" {
 		t.Fatal("true-lru must pair with the locality prefetcher")
 	}
 }

@@ -90,10 +90,10 @@ type Engine struct {
 	// frontier cycle advancing and more than wdWindow of wall-clock time
 	// passes, Run returns ErrNoProgress (a same-cycle livelock that the event
 	// budget would only catch millions of events later).
-	wdEvery   uint64
-	wdWindow  time.Duration
-	wdCount   uint64
-	wdCycle   memdef.Cycle
+	wdEvery    uint64
+	wdWindow   time.Duration
+	wdCount    uint64
+	wdCycle    memdef.Cycle
 	wdDeadline time.Time
 }
 
@@ -184,6 +184,7 @@ func (e *Engine) insert(n *eventNode, at memdef.Cycle) {
 // cycle, after already-queued same-cycle events").
 func (e *Engine) Schedule(delay memdef.Cycle, fn func()) {
 	if fn == nil {
+		//cppelint:panicfree nil-callback guard catches a wiring bug at the call site; the harness converts the panic to Result.Err via ErrPanic
 		panic("engine: Schedule called with nil fn")
 	}
 	n := e.alloc()
@@ -197,6 +198,7 @@ func (e *Engine) Schedule(delay memdef.Cycle, fn func()) {
 // closure is created per event.
 func (e *Engine) ScheduleArg(delay memdef.Cycle, fn func(uint64), arg uint64) {
 	if fn == nil {
+		//cppelint:panicfree nil-callback guard catches a wiring bug at the call site; the harness converts the panic to Result.Err via ErrPanic
 		panic("engine: ScheduleArg called with nil fn")
 	}
 	n := e.alloc()
@@ -209,9 +211,11 @@ func (e *Engine) ScheduleArg(delay memdef.Cycle, fn func(uint64), arg uint64) {
 // components must never rewind time.
 func (e *Engine) ScheduleAt(at memdef.Cycle, fn func()) {
 	if at < e.now {
+		//cppelint:panicfree scheduling in the past is a component bug that would silently corrupt event order; fail loudly, recovered by the harness
 		panic(fmt.Sprintf("engine: ScheduleAt(%d) in the past (now=%d)", at, e.now))
 	}
 	if fn == nil {
+		//cppelint:panicfree nil-callback guard catches a wiring bug at the call site; the harness converts the panic to Result.Err via ErrPanic
 		panic("engine: ScheduleAt called with nil fn")
 	}
 	n := e.alloc()
@@ -222,9 +226,11 @@ func (e *Engine) ScheduleAt(at memdef.Cycle, fn func()) {
 // ScheduleArgAt is ScheduleAt's allocation-free variant (see ScheduleArg).
 func (e *Engine) ScheduleArgAt(at memdef.Cycle, fn func(uint64), arg uint64) {
 	if at < e.now {
+		//cppelint:panicfree scheduling in the past is a component bug that would silently corrupt event order; fail loudly, recovered by the harness
 		panic(fmt.Sprintf("engine: ScheduleArgAt(%d) in the past (now=%d)", at, e.now))
 	}
 	if fn == nil {
+		//cppelint:panicfree nil-callback guard catches a wiring bug at the call site; the harness converts the panic to Result.Err via ErrPanic
 		panic("engine: ScheduleArgAt called with nil fn")
 	}
 	n := e.alloc()
@@ -255,6 +261,7 @@ func (e *Engine) nextRing() (memdef.Cycle, int) {
 			word &= 1<<uint(start&63) - 1
 		}
 	}
+	//cppelint:panicfree ring bookkeeping invariant; unreachable unless the bitmap and counter disagree, which no error path could meaningfully report
 	panic("engine: ringCount > 0 but no occupied slot")
 }
 
@@ -336,6 +343,7 @@ func (e *Engine) Run(done func() bool) (memdef.Cycle, error) {
 		}
 		n := e.popNext()
 		if n.at < e.now {
+			//cppelint:panicfree time monotonicity invariant on the zero-alloc dispatch path; the harness converts the panic to Result.Err via ErrPanic
 			panic("engine: event time went backwards")
 		}
 		e.now = n.at

@@ -94,6 +94,7 @@ func (c *Chain) PushHead(id memdef.ChunkID) *Entry {
 
 func (c *Chain) newEntry(id memdef.ChunkID) *Entry {
 	if _, dup := c.index[id]; dup {
+		//cppelint:panicfree duplicate insert is a policy bug the audit ClassChain check also detects; zero-alloc hot path, recovered by the harness into Result.Err
 		panic(fmt.Sprintf("evict: chunk %v already in chain", id))
 	}
 	e := &Entry{Chunk: id}
@@ -105,6 +106,7 @@ func (c *Chain) newEntry(id memdef.ChunkID) *Entry {
 // Remove unlinks e from the chain.
 func (c *Chain) Remove(e *Entry) {
 	if c.index[e.Chunk] != e {
+		//cppelint:panicfree foreign-entry removal is a policy bug the audit ClassChain check also detects; zero-alloc hot path, recovered by the harness into Result.Err
 		panic(fmt.Sprintf("evict: removing foreign entry %v", e.Chunk))
 	}
 	if e.prev != nil {

@@ -64,10 +64,10 @@ func TestGoldenSingleRunAudited(t *testing.T) {
 // fault, simulating a buggy policy plugin inside one run of a sweep.
 type panicPolicy struct{}
 
-func (panicPolicy) Name() string                { return "boom" }
-func (panicPolicy) OnFault(memdef.ChunkID)      { panic("boom policy: injected panic") }
+func (panicPolicy) Name() string                                { return "boom" }
+func (panicPolicy) OnFault(memdef.ChunkID)                      { panic("boom policy: injected panic") }
 func (panicPolicy) OnMigrate(memdef.ChunkID, memdef.PageBitmap) {}
-func (panicPolicy) OnTouch(memdef.ChunkID, int) {}
+func (panicPolicy) OnTouch(memdef.ChunkID, int)                 {}
 func (panicPolicy) SelectVictim(func(memdef.ChunkID) bool) (memdef.ChunkID, bool) {
 	return 0, false
 }
@@ -84,11 +84,11 @@ func TestPanicIsolatedInParallelSweep(t *testing.T) {
 	s.Register(core.Setup{
 		Name:        "boom",
 		Description: "test-only panicking policy",
-		NewPolicy: func(memdef.Config, int64) evict.Policy {
-			return panicPolicy{}
+		NewPolicy: func(memdef.Config, int64) (evict.Policy, error) {
+			return panicPolicy{}, nil
 		},
-		NewPrefetcher: func(memdef.Config) prefetch.Prefetcher {
-			return prefetch.NewLocality()
+		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+			return prefetch.NewLocality(), nil
 		},
 	})
 	keys := []Key{

@@ -272,8 +272,14 @@ func (s *Session) runOne(k Key) (out Result) {
 	cfg := s.cfg.Base
 	cfg.MemoryPages = capacityFor(generated.FootprintPages, k.OversubPct)
 
-	policy := setup.NewPolicy(cfg, s.cfg.Seed^int64(len(k.Bench))^0x5eed)
-	pf := setup.NewPrefetcher(cfg)
+	policy, err := setup.NewPolicy(cfg, s.cfg.Seed^int64(len(k.Bench))^0x5eed)
+	if err != nil {
+		return Result{Key: k, Crashed: true, Err: fmt.Errorf("harness: setup %q policy: %w", k.Setup, err)}
+	}
+	pf, err := setup.NewPrefetcher(cfg)
+	if err != nil {
+		return Result{Key: k, Crashed: true, Err: fmt.Errorf("harness: setup %q prefetcher: %w", k.Setup, err)}
+	}
 	machine := sm.NewMachine(cfg, policy, pf, generated.Warps)
 	machine.SetFootprint(generated.FootprintPages)
 	machine.SetWatchdog(s.cfg.WatchdogWindow)
@@ -325,8 +331,14 @@ func (s *Session) RunTrace(tr *trace.Trace, setupName string, oversubPct int) (o
 	cfg := s.cfg.Base
 	cfg.MemoryPages = capacityFor(tr.FootprintPages, oversubPct)
 
-	policy := setup.NewPolicy(cfg, s.cfg.Seed)
-	pf := setup.NewPrefetcher(cfg)
+	policy, err := setup.NewPolicy(cfg, s.cfg.Seed)
+	if err != nil {
+		return Result{Key: k, Crashed: true, Err: fmt.Errorf("harness: setup %q policy: %w", setupName, err)}
+	}
+	pf, err := setup.NewPrefetcher(cfg)
+	if err != nil {
+		return Result{Key: k, Crashed: true, Err: fmt.Errorf("harness: setup %q prefetcher: %w", setupName, err)}
+	}
 	machine := sm.NewMachine(cfg, policy, pf, tr.Warps)
 	machine.SetFootprint(tr.FootprintPages)
 	machine.SetWatchdog(s.cfg.WatchdogWindow)

@@ -32,8 +32,14 @@ func buildMachine(t *testing.T, chaosSeed int64, auditEvery memdef.Cycle) *sm.Ma
 	cfg.MemoryPages = capacity
 	cfg.ChaosSeed = chaosSeed
 	cfg.AuditEveryCycles = auditEvery
-	pol := core.SetupCPPE.NewPolicy(cfg, 1)
-	pf := core.SetupCPPE.NewPrefetcher(cfg)
+	pol, err := core.SetupCPPE.NewPolicy(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := core.SetupCPPE.NewPrefetcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := sm.NewMachine(cfg, pol, pf, gen.Warps)
 	m.SetFootprint(gen.FootprintPages)
 	return m

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkMapIter flags for-range statements whose ranged operand is a map. Go
+// randomizes map iteration order per run, so any simulation state or output
+// derived from the visit order diverges between replays. Code that needs the
+// keys must copy them into a slice and sort, or carry a //cppelint:ordered
+// waiver explaining why the order provably cannot escape.
+func checkMapIter(pkg *Package, ctx *checkContext) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pkg.Info.Types[rs.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				ctx.reportNode(pkg, rs, "range over map %s: iteration order is randomized; sort keys first or waive with //cppelint:ordered <reason>", types.TypeString(tv.Type, types.RelativeTo(pkg.Types)))
+			}
+			return true
+		})
+	}
+}
+
+// wallClockFuncs are the time-package functions that read or react to the
+// wall clock. Pure-value helpers (time.Duration arithmetic, ParseDuration)
+// stay legal: only clock reads can leak host timing into simulated state.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// wallClockAllow maps package name -> function names allowed to read the wall
+// clock. The engine's no-progress watchdog is the single sanctioned client:
+// it compares wall time against wall time to detect livelocks and never feeds
+// the reading back into simulated state.
+var wallClockAllow = map[string]map[string]bool{
+	"engine": {"watchdogCheck": true},
+}
+
+// checkWallClock flags wall-clock reads outside the watchdog allowlist.
+func checkWallClock(pkg *Package, ctx *checkContext) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgFunc(pkg, sel, "time", wallClockFuncs) {
+				return true
+			}
+			if fn := enclosingFuncName(f, sel.Pos()); wallClockAllow[pkg.Name][fn] {
+				return true
+			}
+			ctx.reportNode(pkg, sel, "wall-clock read time.%s in simulation code: wall time must never reach simulated state (engine watchdog is the only allowed reader)", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// globalRandAllow are the math/rand package-level constructors that build
+// isolated generators instead of touching the shared global source.
+var globalRandAllow = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// checkGlobalRand flags package-level math/rand calls (Intn, Shuffle, Seed,
+// ...) which draw from the process-global, lock-shared source: its sequence
+// depends on every other consumer in the process, so results are not
+// reproducible. Constructors (rand.New, rand.NewSource) are fine — they are
+// exactly how the injected seeded generators are built.
+func checkGlobalRand(pkg *Package, ctx *checkContext) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if globalRandAllow[sel.Sel.Name] {
+				return true
+			}
+			// Only package-level functions draw on the global source; types
+			// (rand.Rand, rand.Source) and their methods are the injected,
+			// seeded generators the rule asks for.
+			if _, isFunc := pkg.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true
+			}
+			if !isPkgIdent(pkg, sel, "math/rand") && !isPkgIdent(pkg, sel, "math/rand/v2") {
+				return true
+			}
+			ctx.reportNode(pkg, sel, "package-level rand.%s uses the global source; inject a seeded *rand.Rand instead", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// checkPanicFree flags panic() calls on simulation runtime paths. Per the
+// robustness convention (DESIGN §8) failures must be returned as errors and
+// surfaced through Result.Err; a panic aborts a whole parallel sweep (or
+// survives only via the harness's recover, losing the structured cause).
+// Construction-time geometry validation is exempt: panics inside functions
+// named New*, Validate*, or Must* fire before any simulation starts and
+// signal programmer error, not simulation state.
+func checkPanicFree(pkg *Package, ctx *checkContext) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			fn := enclosingFuncName(f, call.Pos())
+			if strings.HasPrefix(fn, "New") || strings.HasPrefix(fn, "Validate") || strings.HasPrefix(fn, "Must") {
+				return true
+			}
+			ctx.reportNode(pkg, call, "panic on a runtime path (in %s): return an error surfaced through Result.Err, or waive with //cppelint:panicfree <reason>", fnOrFileScope(fn))
+			return true
+		})
+	}
+}
+
+func fnOrFileScope(fn string) string {
+	if fn == "" {
+		return "package scope"
+	}
+	return fn
+}
+
+// goFreezeAllow lists packages that may spawn goroutines: the harness fans
+// out over independent, single-goroutine simulations, which cannot perturb
+// any one simulation's (cycle, seq) order.
+var goFreezeAllow = map[string]bool{"harness": true}
+
+// checkGoFreeze flags go statements inside the event-driven core. One
+// simulation is strictly single-goroutine: concurrency there would make event
+// interleaving scheduler-dependent and break deterministic replay.
+func checkGoFreeze(pkg *Package, ctx *checkContext) {
+	if goFreezeAllow[pkg.Name] {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				ctx.reportNode(pkg, gs, "go statement in the event-driven core: one simulation is single-goroutine by contract (only the harness fan-out may spawn goroutines)")
+			}
+			return true
+		})
+	}
+}
+
+// isPkgFunc reports whether sel is pkgPath.<name> for a name in names.
+func isPkgFunc(pkg *Package, sel *ast.SelectorExpr, pkgPath string, names map[string]bool) bool {
+	return names[sel.Sel.Name] && isPkgIdent(pkg, sel, pkgPath)
+}
+
+// isPkgIdent reports whether sel's receiver is the package named by pkgPath
+// (i.e. sel is a qualified identifier, not a field or method selection).
+func isPkgIdent(pkg *Package, sel *ast.SelectorExpr, pkgPath string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

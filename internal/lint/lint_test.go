@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// lintFixture lints one testdata fixture unscoped — the mode the CLI uses for
+// explicitly named directories — and returns the rendered diagnostics.
+func lintFixture(t *testing.T, fixture string) []string {
+	t.Helper()
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(l, false)
+	diags, err := r.LintDirs([]string{filepath.Join("testdata", "src", fixture)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func assertDiags(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("diagnostics:\n  got  %q\n  want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diagnostic %d:\n  got  %s\n  want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFixtureMapIter(t *testing.T) {
+	assertDiags(t, lintFixture(t, "mapiter"), []string{
+		"internal/lint/testdata/src/mapiter/mapiter.go:8: [mapiter] range over map map[int]int: iteration order is randomized; sort keys first or waive with //cppelint:ordered <reason>",
+	})
+}
+
+func TestFixtureWallClock(t *testing.T) {
+	assertDiags(t, lintFixture(t, "wallclock"), []string{
+		"internal/lint/testdata/src/wallclock/wallclock.go:8: [wallclock] wall-clock read time.Now in simulation code: wall time must never reach simulated state (engine watchdog is the only allowed reader)",
+	})
+}
+
+func TestFixtureGlobalRand(t *testing.T) {
+	assertDiags(t, lintFixture(t, "globalrand"), []string{
+		"internal/lint/testdata/src/globalrand/globalrand.go:8: [globalrand] package-level rand.Intn uses the global source; inject a seeded *rand.Rand instead",
+	})
+}
+
+func TestFixturePanicFree(t *testing.T) {
+	assertDiags(t, lintFixture(t, "panicfree"), []string{
+		"internal/lint/testdata/src/panicfree/panicfree.go:7: [panicfree] panic on a runtime path (in Step): return an error surfaced through Result.Err, or waive with //cppelint:panicfree <reason>",
+	})
+}
+
+func TestFixtureGoFreeze(t *testing.T) {
+	assertDiags(t, lintFixture(t, "gofreeze"), []string{
+		"internal/lint/testdata/src/gofreeze/gofreeze.go:6: [gofreeze] go statement in the event-driven core: one simulation is single-goroutine by contract (only the harness fan-out may spawn goroutines)",
+	})
+}
+
+// TestFixtureBadWaiver pins the waiver grammar: an unknown directive and a
+// reasonless directive are diagnostics themselves, and neither suppresses the
+// finding it is attached to.
+func TestFixtureBadWaiver(t *testing.T) {
+	assertDiags(t, lintFixture(t, "badwaiver"), []string{
+		`internal/lint/testdata/src/badwaiver/badwaiver.go:8: [waiver] unknown cppelint directive "orderred"`,
+		"internal/lint/testdata/src/badwaiver/badwaiver.go:9: [mapiter] range over map map[string]bool: iteration order is randomized; sort keys first or waive with //cppelint:ordered <reason>",
+		"internal/lint/testdata/src/badwaiver/badwaiver.go:12: [waiver] cppelint:ordered waiver is missing its mandatory reason",
+		"internal/lint/testdata/src/badwaiver/badwaiver.go:13: [mapiter] range over map map[string]bool: iteration order is randomized; sort keys first or waive with //cppelint:ordered <reason>",
+	})
+}
+
+// TestScopedModeSkipsFixtures asserts the ./... scoping contract: fixture
+// packages are not on any check's package list, so a scoped run reports
+// nothing even over a deliberately dirty package.
+func TestScopedModeSkipsFixtures(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(l, true)
+	diags, err := r.LintDirs([]string{filepath.Join("testdata", "src", "gofreeze")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("scoped run flagged out-of-scope fixture: %q", diags)
+	}
+}
+
+// TestTreeIsClean runs the suite exactly as CI does (scoped, whole module)
+// and asserts the tree has zero findings. Every in-repo violation must be
+// fixed or carry a justified waiver.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := l.ExpandPatterns([]string{"..."}, l.ModuleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("pattern expansion found only %d package dirs", len(dirs))
+	}
+	r := NewRunner(l, true)
+	diags, err := r.LintDirs(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{File: "a/b.go", Line: 3, Col: 7, Check: "mapiter", Message: "m"}
+	raw, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"file":"a/b.go","line":3,"col":7,"check":"mapiter","message":"m"}`
+	if string(raw) != want {
+		t.Fatalf("json = %s, want %s", raw, want)
+	}
+	if d.String() != "a/b.go:3: [mapiter] m" {
+		t.Fatalf("String() = %q", d.String())
+	}
+}
+
+// TestWaiverRegexp pins the directive grammar corner cases.
+func TestWaiverRegexp(t *testing.T) {
+	cases := []struct {
+		comment   string
+		directive string
+		reason    string
+		match     bool
+	}{
+		{"//cppelint:ordered keys sorted below", "ordered", "keys sorted below", true},
+		{"// cppelint:panicfree recovered by the harness", "panicfree", "recovered by the harness", true},
+		{"//cppelint:gofreeze", "gofreeze", "", true},
+		{"// plain comment", "", "", false},
+		{"//cppelint : spaced colon is not a directive", "", "", false},
+	}
+	for _, c := range cases {
+		m := waiverRe.FindStringSubmatch(c.comment)
+		if (m != nil) != c.match {
+			t.Errorf("%q: match = %v, want %v", c.comment, m != nil, c.match)
+			continue
+		}
+		if m == nil {
+			continue
+		}
+		if m[1] != c.directive || m[2] != c.reason {
+			t.Errorf("%q: parsed (%q, %q), want (%q, %q)", c.comment, m[1], m[2], c.directive, c.reason)
+		}
+	}
+}

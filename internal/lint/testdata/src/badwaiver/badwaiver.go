@@ -1,0 +1,17 @@
+// Package badwaiver is a cppe-lint self-test fixture: malformed waivers.
+package badwaiver
+
+// Flatten carries one typoed directive and one reasonless directive; neither
+// suppresses the map-range diagnostic it is attached to.
+func Flatten(m map[string]bool) int {
+	n := 0
+	//cppelint:orderred typo never matches a real directive
+	for range m {
+		n++
+	}
+	//cppelint:ordered
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,16 @@
+// Package globalrand is a cppe-lint self-test fixture: global rand source.
+package globalrand
+
+import "math/rand"
+
+// Roll draws from the process-global, lock-shared source.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Seeded builds and uses an injected generator — legal: constructors are
+// allowed and *rand.Rand methods are exactly what the rule asks for.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}

@@ -1,0 +1,9 @@
+// Package gofreeze is a cppe-lint self-test fixture: goroutines in the core.
+package gofreeze
+
+// Fire spawns a goroutine inside simulated time.
+func Fire(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

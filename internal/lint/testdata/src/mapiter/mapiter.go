@@ -1,0 +1,22 @@
+// Package mapiter is a cppe-lint self-test fixture: map iteration.
+package mapiter
+
+// Sum folds a map by ranging over it with no ordering discipline — the
+// canonical determinism bug cppe-lint exists to catch.
+func Sum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Keys copies the map's keys under a justified waiver.
+func Keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//cppelint:ordered caller sorts the returned slice before any use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,26 @@
+// Package panicfree is a cppe-lint self-test fixture: runtime panics.
+package panicfree
+
+// Step panics on a runtime path — the failure must be an error instead.
+func Step(n int) int {
+	if n < 0 {
+		panic("negative step")
+	}
+	return n + 1
+}
+
+// NewCounter panics during construction — allowed (New* prefix).
+func NewCounter(size int) []int {
+	if size < 0 {
+		panic("negative capacity")
+	}
+	return make([]int, 0, size)
+}
+
+// MustStep panics on programmer error — allowed (Must* prefix).
+func MustStep(n int) int {
+	if n < 0 {
+		panic("must: negative step")
+	}
+	return n + 1
+}

@@ -1,0 +1,15 @@
+// Package wallclock is a cppe-lint self-test fixture: wall-clock reads.
+package wallclock
+
+import "time"
+
+// Stamp leaks host time into simulation state.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed measures wall time under a justified waiver.
+func Elapsed(start time.Time) time.Duration {
+	//cppelint:wallclock fixture demonstrates a justified waiver
+	return time.Since(start)
+}

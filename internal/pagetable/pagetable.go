@@ -10,10 +10,20 @@
 package pagetable
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/reproductions/cppe/internal/memdef"
 )
+
+// ErrDoubleMap reports a Map of an already-mapped page: the UVM driver is
+// responsible for never double-migrating a page, so this is an integrity
+// violation of the driver, surfaced as an audit-class error by the caller.
+var ErrDoubleMap = errors.New("pagetable: double map")
+
+// ErrUnmapUnmapped reports an Unmap of a page with no valid mapping, the
+// eviction-side counterpart of ErrDoubleMap.
+var ErrUnmapUnmapped = errors.New("pagetable: unmap of unmapped page")
 
 // Levels is the radix-tree depth (x86-64-style 4-level table).
 const Levels = 4
@@ -68,31 +78,34 @@ func indexAt(p memdef.PageNum, l int) int {
 }
 
 // Map installs a virtual-to-physical mapping. Mapping an already-mapped page
-// panics: the UVM driver is responsible for never double-migrating a page.
-func (t *Table) Map(p memdef.PageNum, f FrameNum) {
+// returns ErrDoubleMap (and installs nothing): double migration is a UVM
+// driver integrity violation, which the caller fail-stops on.
+func (t *Table) Map(p memdef.PageNum, f FrameNum) error {
 	n := t.walkAlloc(p)
 	i := indexAt(p, 0)
 	if n.present[i] {
-		panic(fmt.Sprintf("pagetable: double map of %v", p))
+		return fmt.Errorf("%w: %v", ErrDoubleMap, p)
 	}
 	n.leaves[i] = PTE{Frame: f}
 	n.present[i] = true
 	t.mapped++
+	return nil
 }
 
 // Unmap removes the mapping for p and returns its PTE. Unmapping a page that
-// is not mapped panics, for the same driver-invariant reason as Map.
-func (t *Table) Unmap(p memdef.PageNum) PTE {
+// is not mapped returns ErrUnmapUnmapped (and removes nothing), for the same
+// driver-invariant reason as Map.
+func (t *Table) Unmap(p memdef.PageNum) (PTE, error) {
 	n := t.walkNoAlloc(p)
 	i := indexAt(p, 0)
 	if n == nil || n.leaves == nil || !n.present[i] {
-		panic(fmt.Sprintf("pagetable: unmap of unmapped %v", p))
+		return PTE{}, fmt.Errorf("%w: %v", ErrUnmapUnmapped, p)
 	}
 	pte := n.leaves[i]
 	n.leaves[i] = PTE{}
 	n.present[i] = false
 	t.mapped--
-	return pte
+	return pte, nil
 }
 
 // Lookup returns the frame for p, or InvalidFrame if p has no GPU mapping.

@@ -1,6 +1,7 @@
 package pagetable
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -21,7 +22,10 @@ func TestMapLookupUnmap(t *testing.T) {
 	if pt.Mapped() != 1 {
 		t.Fatalf("Mapped = %d", pt.Mapped())
 	}
-	pte := pt.Unmap(p)
+	pte, err := pt.Unmap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pte.Frame != 7 || pte.Dirty {
 		t.Fatalf("Unmap PTE = %+v", pte)
 	}
@@ -41,25 +45,27 @@ func TestFrameZeroIsValid(t *testing.T) {
 	}
 }
 
-func TestDoubleMapPanics(t *testing.T) {
+func TestDoubleMapError(t *testing.T) {
 	pt := New()
-	pt.Map(1, 1)
-	defer func() {
-		if recover() == nil {
-			t.Error("double Map did not panic")
-		}
-	}()
-	pt.Map(1, 2)
+	if err := pt.Map(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	err := pt.Map(1, 2)
+	if !errors.Is(err, ErrDoubleMap) {
+		t.Errorf("double Map error = %v, want ErrDoubleMap", err)
+	}
+	// The first mapping must survive the rejected remap.
+	if got := pt.Lookup(1); got != 1 {
+		t.Errorf("Lookup after rejected remap = %d, want 1", got)
+	}
 }
 
-func TestUnmapUnmappedPanics(t *testing.T) {
+func TestUnmapUnmappedError(t *testing.T) {
 	pt := New()
-	defer func() {
-		if recover() == nil {
-			t.Error("Unmap of unmapped page did not panic")
-		}
-	}()
-	pt.Unmap(99)
+	_, err := pt.Unmap(99)
+	if !errors.Is(err, ErrUnmapUnmapped) {
+		t.Errorf("Unmap of unmapped page error = %v, want ErrUnmapUnmapped", err)
+	}
 }
 
 func TestDirtyTracking(t *testing.T) {
@@ -72,7 +78,10 @@ func TestDirtyTracking(t *testing.T) {
 	if !pt.IsDirty(5) {
 		t.Fatal("SetDirty lost")
 	}
-	pte := pt.Unmap(5)
+	pte, err := pt.Unmap(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !pte.Dirty {
 		t.Fatal("Unmap dropped dirty bit")
 	}
@@ -195,7 +204,10 @@ func TestManyMappingsStress(t *testing.T) {
 		p := memdef.PageNum(rng.Uint64() & (1<<30 - 1))
 		if f, ok := ref[p]; ok {
 			if rng.Intn(2) == 0 {
-				got := pt.Unmap(p)
+				got, err := pt.Unmap(p)
+				if err != nil {
+					t.Fatal(err)
+				}
 				if got.Frame != f {
 					t.Fatalf("Unmap(%v).Frame = %d, want %d", p, got.Frame, f)
 				}

@@ -1,10 +1,14 @@
 package prefetch
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/reproductions/cppe/internal/memdef"
 )
+
+// ErrUnknownScheme reports a DeletionScheme outside the paper's two schemes.
+var ErrUnknownScheme = errors.New("prefetch: unknown deletion scheme")
 
 // DeletionScheme selects how the pattern buffer forgets chunks whose faults
 // stop matching the recorded touch pattern (Section IV-C, Fig. 6).
@@ -56,9 +60,11 @@ type Pattern struct {
 
 // NewPattern returns a pattern-aware prefetcher with the given deletion
 // scheme and minimum untouch level for recording (0 means the paper's 8).
-func NewPattern(scheme DeletionScheme, minUntouch int) *Pattern {
+// A scheme outside {Scheme1, Scheme2} is ErrUnknownScheme: setup construction
+// errors surface through harness Result.Err instead of aborting the process.
+func NewPattern(scheme DeletionScheme, minUntouch int) (*Pattern, error) {
 	if scheme != Scheme1 && scheme != Scheme2 {
-		panic(fmt.Sprintf("prefetch: unknown deletion scheme %d", scheme))
+		return nil, fmt.Errorf("%w: %d", ErrUnknownScheme, scheme)
 	}
 	if minUntouch <= 0 {
 		minUntouch = 8
@@ -67,7 +73,18 @@ func NewPattern(scheme DeletionScheme, minUntouch int) *Pattern {
 		scheme:     scheme,
 		minUntouch: minUntouch,
 		buf:        make(map[memdef.ChunkID]*patternEntry),
+	}, nil
+}
+
+// MustPattern is NewPattern for wiring with compile-time-constant schemes
+// (tests, examples); an invalid scheme is a construction-time programmer
+// error and panics, like template.Must.
+func MustPattern(scheme DeletionScheme, minUntouch int) *Pattern {
+	pf, err := NewPattern(scheme, minUntouch)
+	if err != nil {
+		panic(err)
 	}
+	return pf
 }
 
 // Name implements Prefetcher.

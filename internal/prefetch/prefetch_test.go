@@ -1,6 +1,7 @@
 package prefetch
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/reproductions/cppe/internal/memdef"
@@ -83,17 +84,20 @@ func TestNonePlansSinglePage(t *testing.T) {
 	}
 }
 
-func TestPatternBadSchemePanics(t *testing.T) {
+func TestPatternBadScheme(t *testing.T) {
+	if _, err := NewPattern(DeletionScheme(9), 0); !errors.Is(err, ErrUnknownScheme) {
+		t.Errorf("NewPattern bad scheme error = %v, want ErrUnknownScheme", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("bad scheme did not panic")
+			t.Error("MustPattern with bad scheme did not panic")
 		}
 	}()
-	NewPattern(DeletionScheme(9), 0)
+	MustPattern(DeletionScheme(9), 0)
 }
 
 func TestPatternBehavesLikeLocalityBeforeFull(t *testing.T) {
-	pf := NewPattern(Scheme2, 0)
+	pf := MustPattern(Scheme2, 0)
 	got := pf.Plan(5, Context{Resident: nothingResident})
 	if len(got) != memdef.ChunkPages {
 		t.Fatalf("plan = %v", got)
@@ -101,7 +105,7 @@ func TestPatternBehavesLikeLocalityBeforeFull(t *testing.T) {
 }
 
 func TestPatternRecordsOnlySparseChunks(t *testing.T) {
-	pf := NewPattern(Scheme2, 0)
+	pf := MustPattern(Scheme2, 0)
 	pf.OnEvict(1, memdef.PageBitmap(0x00FF), 8) // untouch 8: recorded
 	pf.OnEvict(2, memdef.PageBitmap(0x7FFF), 1) // untouch 1: not recorded
 	pf.OnEvict(3, 0, 16)                        // nothing touched: not recorded
@@ -114,7 +118,7 @@ func TestPatternRecordsOnlySparseChunks(t *testing.T) {
 }
 
 func TestPatternMatchPrefetchesOnlyPattern(t *testing.T) {
-	pf := NewPattern(Scheme2, 0)
+	pf := MustPattern(Scheme2, 0)
 	// Chunk 0, stride-2 pattern: pages 0,2,4,...,14 touched.
 	var touched memdef.PageBitmap
 	for i := 0; i < memdef.ChunkPages; i += 2 {
@@ -132,7 +136,7 @@ func TestPatternMatchPrefetchesOnlyPattern(t *testing.T) {
 }
 
 func TestPatternMismatchMigratesWholeChunk(t *testing.T) {
-	pf := NewPattern(Scheme1, 0)
+	pf := MustPattern(Scheme1, 0)
 	var touched memdef.PageBitmap
 	for i := 0; i < memdef.ChunkPages; i += 2 {
 		touched = touched.Set(i)
@@ -152,7 +156,7 @@ func TestPatternFig6Schemes(t *testing.T) {
 
 	// Access stream (1): fault on page 2 — mismatch. Both schemes delete.
 	for _, scheme := range []DeletionScheme{Scheme1, Scheme2} {
-		pf := NewPattern(scheme, 1)
+		pf := MustPattern(scheme, 1)
 		pf.OnEvict(0, pattern, 14)
 		pf.Plan(2, Context{Resident: nothingResident, MemoryFull: true})
 		if pf.Len() != 0 {
@@ -164,7 +168,7 @@ func TestPatternFig6Schemes(t *testing.T) {
 	// Scheme-1 deletes on the mismatch; Scheme-2 keeps the entry because the
 	// first lookup matched.
 	run := func(scheme DeletionScheme) *Pattern {
-		pf := NewPattern(scheme, 1)
+		pf := MustPattern(scheme, 1)
 		pf.OnEvict(0, pattern, 14)
 		resident := map[memdef.PageNum]bool{}
 		ctx := Context{
@@ -199,7 +203,7 @@ func TestPatternFig6Schemes(t *testing.T) {
 }
 
 func TestPatternReRecordingOverwrites(t *testing.T) {
-	pf := NewPattern(Scheme2, 0)
+	pf := MustPattern(Scheme2, 0)
 	a := memdef.PageBitmap(0).Set(0)
 	b := memdef.PageBitmap(0).Set(1)
 	pf.OnEvict(0, a, 15)
@@ -263,8 +267,8 @@ func TestPrefetcherNames(t *testing.T) {
 		"locality":        NewLocality(),
 		"disable-on-full": NewDisableOnFull(),
 		"none":            NewNone(),
-		"pattern-s1":      NewPattern(Scheme1, 0),
-		"pattern-s2":      NewPattern(Scheme2, 0),
+		"pattern-s1":      MustPattern(Scheme1, 0),
+		"pattern-s2":      MustPattern(Scheme2, 0),
 		"tree":            NewTree(),
 	}
 	for want, p := range cases {
@@ -277,7 +281,7 @@ func TestPrefetcherNames(t *testing.T) {
 func TestPlansAreAscendingAndContainFault(t *testing.T) {
 	prefetchers := []Prefetcher{
 		NewLocality(), NewDisableOnFull(), NewNone(),
-		NewPattern(Scheme1, 0), NewPattern(Scheme2, 0), NewTree(),
+		MustPattern(Scheme1, 0), MustPattern(Scheme2, 0), NewTree(),
 	}
 	for _, pf := range prefetchers {
 		for _, fault := range []memdef.PageNum{0, 7, 31, 100, 1023} {

@@ -15,7 +15,7 @@ func TestPlanNeverIncludesResidentPages(t *testing.T) {
 	prefetchers := func() []Prefetcher {
 		return []Prefetcher{
 			NewLocality(), NewDisableOnFull(), NewNone(),
-			NewPattern(Scheme1, 0), NewPattern(Scheme2, 0), NewTree(),
+			MustPattern(Scheme1, 0), MustPattern(Scheme2, 0), NewTree(),
 		}
 	}
 	f := func(seed int64, faultRaw uint32, full bool) bool {
@@ -56,7 +56,7 @@ func TestPatternPlanSubsetOfRecordedPattern(t *testing.T) {
 			return true
 		}
 		idx := int(faultIdx) % memdef.ChunkPages
-		pf := NewPattern(Scheme2, 1)
+		pf := MustPattern(Scheme2, 1)
 		pf.OnEvict(3, mask, 16-mask.Count())
 		fault := memdef.ChunkID(3).Page(idx)
 		plan := pf.Plan(fault, Context{Resident: nothingResident, MemoryFull: true})
@@ -80,7 +80,7 @@ func TestPatternPlanSubsetOfRecordedPattern(t *testing.T) {
 // TestPatternBufferBounded: the buffer never exceeds the number of distinct
 // chunks ever evicted, and deletion monotonically shrinks it.
 func TestPatternBufferBounded(t *testing.T) {
-	pf := NewPattern(Scheme1, 1)
+	pf := MustPattern(Scheme1, 1)
 	rng := rand.New(rand.NewSource(5))
 	distinct := map[memdef.ChunkID]bool{}
 	for i := 0; i < 5000; i++ {

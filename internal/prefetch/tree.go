@@ -60,20 +60,14 @@ func (t *Tree) Plan(p memdef.PageNum, ctx Context) []memdef.PageNum {
 		}
 	}
 
-	// Materialize: ascending page order over planned chunks.
-	var lo, hi memdef.ChunkID
-	first := true
-	for cc := range planned {
-		if first || cc < lo {
-			lo = cc
-		}
-		if first || cc > hi {
-			hi = cc
-		}
-		first = false
-	}
+	// Materialize: ascending page order over planned chunks. Every planned
+	// chunk lies inside the faulted 2 MiB region (all subtree bases do), so
+	// scanning the region in order visits them ascending without ranging over
+	// the map — map iteration order is randomized and must never shape a
+	// migration plan.
+	region := memdef.ChunkID(uint64(c) / treeSpanChunks * treeSpanChunks)
 	out := make([]memdef.PageNum, 0, len(planned)*memdef.ChunkPages)
-	for cc := lo; cc <= hi; cc++ {
+	for cc := region; cc < region+treeSpanChunks; cc++ {
 		if !planned[cc] {
 			continue
 		}

@@ -24,7 +24,15 @@ func buildFor(t *testing.T, abbr string, setup core.Setup, pct int) (*Machine, w
 		cap -= cap % memdef.ChunkPages
 		cfg.MemoryPages = cap
 	}
-	m := NewMachine(cfg, setup.NewPolicy(cfg, 7), setup.NewPrefetcher(cfg), tr.Warps)
+	pol, err := setup.NewPolicy(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf, err := setup.NewPrefetcher(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(cfg, pol, pf, tr.Warps)
 	m.SetFootprint(tr.FootprintPages)
 	return m, tr
 }
@@ -194,7 +202,10 @@ func TestPatternPrefetchEndToEndFig6(t *testing.T) {
 	// Phase 3: off-pattern page of chunk 0.
 	tr = append(tr, memdef.Access{Addr: memdef.ChunkID(0).Page(1).Addr()})
 
-	inst := core.New(cfg, core.Options{Scheme: prefetch.Scheme2})
+	inst, err := core.New(cfg, core.Options{Scheme: prefetch.Scheme2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	m := NewMachine(cfg, inst.Policy, inst.Prefetcher, [][]memdef.Access{tr})
 	res := m.Run(0)
 	if res.Crashed {

@@ -144,7 +144,7 @@ func TestDeterministicCycles(t *testing.T) {
 	build := func() *Machine {
 		cfg := smallConfig()
 		cfg.MemoryPages = 4 * memdef.ChunkPages
-		return NewMachine(cfg, evict.NewMHPE(evict.MHPEOptions{}), prefetch.NewPattern(prefetch.Scheme2, 0), [][]memdef.Access{
+		return NewMachine(cfg, evict.NewMHPE(evict.MHPEOptions{}), prefetch.MustPattern(prefetch.Scheme2, 0), [][]memdef.Access{
 			seqTrace(0, 128),
 			seqTrace(64, 128),
 			seqTrace(128, 64),

@@ -11,9 +11,10 @@ import (
 // figures. labelCol and valueCol are column indices; rows whose value cell is
 // not a number (e.g. the crash marker "X") get an "X" bar. A reference line
 // at 1.0 is marked with '|' when the values straddle it (speedup charts).
-func BarsFromTable(t *Table, labelCol, valueCol, width int) string {
+// Column indices outside the table are an error.
+func BarsFromTable(t *Table, labelCol, valueCol, width int) (string, error) {
 	if labelCol < 0 || labelCol >= len(t.Columns) || valueCol < 0 || valueCol >= len(t.Columns) {
-		panic(fmt.Sprintf("stats: bar columns out of range (%d, %d of %d)", labelCol, valueCol, len(t.Columns)))
+		return "", fmt.Errorf("stats: bar columns out of range (%d, %d of %d)", labelCol, valueCol, len(t.Columns))
 	}
 	if width <= 0 {
 		width = 40
@@ -70,5 +71,5 @@ func BarsFromTable(t *Table, labelCol, valueCol, width int) string {
 		}
 		fmt.Fprintf(&b, " %.2f\n", r.value)
 	}
-	return b.String()
+	return b.String(), nil
 }

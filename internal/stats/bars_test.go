@@ -14,8 +14,18 @@ func barTable() *Table {
 	return t
 }
 
+// mustBars unwraps BarsFromTable in tests that use valid columns.
+func mustBars(t *testing.T, tb *Table, labelCol, valueCol, width int) string {
+	t.Helper()
+	out, err := BarsFromTable(tb, labelCol, valueCol, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestBarsBasicShape(t *testing.T) {
-	out := BarsFromTable(barTable(), 0, 1, 20)
+	out := mustBars(t, barTable(), 0, 1, 20)
 	lines := strings.Split(strings.TrimSpace(out), "\n")
 	if len(lines) != 5 { // title + 4 rows
 		t.Fatalf("lines = %d:\n%s", len(lines), out)
@@ -37,7 +47,7 @@ func TestBarsBasicShape(t *testing.T) {
 }
 
 func TestBarsReferenceLine(t *testing.T) {
-	out := BarsFromTable(barTable(), 0, 1, 20)
+	out := mustBars(t, barTable(), 0, 1, 20)
 	// 1.0 of max 2.0 over width 20 -> reference at column 10; visible in
 	// rows whose bars stop before it (the 0.50 row).
 	for _, line := range strings.Split(out, "\n") {
@@ -48,23 +58,23 @@ func TestBarsReferenceLine(t *testing.T) {
 }
 
 func TestBarsValueSuffix(t *testing.T) {
-	out := BarsFromTable(barTable(), 0, 1, 10)
+	out := mustBars(t, barTable(), 0, 1, 10)
 	if !strings.Contains(out, "2.00") || !strings.Contains(out, "0.50") {
 		t.Fatalf("values missing:\n%s", out)
 	}
 }
 
-func TestBarsBadColumnPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("bad column did not panic")
-		}
-	}()
-	BarsFromTable(barTable(), 0, 9, 10)
+func TestBarsBadColumnError(t *testing.T) {
+	if _, err := BarsFromTable(barTable(), 0, 9, 10); err == nil {
+		t.Error("bad column did not error")
+	}
+	if _, err := BarsFromTable(barTable(), -1, 1, 10); err == nil {
+		t.Error("negative column did not error")
+	}
 }
 
 func TestBarsDefaultWidth(t *testing.T) {
-	out := BarsFromTable(barTable(), 0, 1, 0)
+	out := mustBars(t, barTable(), 0, 1, 0)
 	if strings.Count(strings.Split(out, "\n")[1], "#") != 40 {
 		t.Fatal("default width not applied")
 	}
@@ -73,7 +83,7 @@ func TestBarsDefaultWidth(t *testing.T) {
 func TestBarsAllZero(t *testing.T) {
 	tb := NewTable("z", "A", "V")
 	tb.AddRow("x", "0.00")
-	out := BarsFromTable(tb, 0, 1, 10)
+	out := mustBars(t, tb, 0, 1, 10)
 	if strings.Count(out, "#") != 0 {
 		t.Fatalf("zero value produced bars:\n%s", out)
 	}

@@ -70,6 +70,11 @@ type Table struct {
 	Caption string
 	Columns []string
 	Rows    [][]string
+
+	// err is the first shape violation recorded by AddRow (sticky, like
+	// bufio.Writer): table construction is presentation-layer code, so misuse
+	// is reported rather than panicking the run that produced the data.
+	err error
 }
 
 // NewTable returns an empty table.
@@ -77,15 +82,24 @@ func NewTable(title string, columns ...string) *Table {
 	return &Table{Title: title, Columns: columns}
 }
 
-// AddRow appends a row; short rows are padded, long rows panic.
+// AddRow appends a row; short rows are padded. A row longer than the column
+// set is truncated and records a sticky error (see Err), which Fprint also
+// renders, so a malformed table is visible in its output instead of aborting
+// the process that computed it.
 func (t *Table) AddRow(cells ...string) {
 	if len(cells) > len(t.Columns) {
-		panic(fmt.Sprintf("stats: row has %d cells, table has %d columns", len(cells), len(t.Columns)))
+		if t.err == nil {
+			t.err = fmt.Errorf("stats: row has %d cells, table has %d columns", len(cells), len(t.Columns))
+		}
+		cells = cells[:len(t.Columns)]
 	}
 	row := make([]string, len(t.Columns))
 	copy(row, cells)
 	t.Rows = append(t.Rows, row)
 }
+
+// Err returns the first table-shape violation recorded by AddRow, or nil.
+func (t *Table) Err() error { return t.err }
 
 // AddRowValues appends a row of stringified values: strings pass through,
 // float64 formats with 2 decimals, integers plainly.
@@ -147,6 +161,9 @@ func (t *Table) Fprint(w io.Writer) {
 	line(sep)
 	for _, r := range t.Rows {
 		line(r)
+	}
+	if t.err != nil {
+		fmt.Fprintf(w, "!! %v\n", t.err)
 	}
 }
 

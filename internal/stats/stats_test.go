@@ -89,14 +89,25 @@ func TestTableShortRowPadded(t *testing.T) {
 	}
 }
 
-func TestTableLongRowPanics(t *testing.T) {
+func TestTableLongRowStickyError(t *testing.T) {
 	tb := NewTable("t", "A")
-	defer func() {
-		if recover() == nil {
-			t.Error("long row did not panic")
-		}
-	}()
 	tb.AddRow("x", "y")
+	if err := tb.Err(); err == nil {
+		t.Fatal("long row did not record an error")
+	}
+	// The row is truncated to the column count, not dropped.
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 1 || tb.Rows[0][0] != "x" {
+		t.Fatalf("rows after long add = %+v", tb.Rows)
+	}
+	// The first error sticks and surfaces in the rendered output.
+	first := tb.Err()
+	tb.AddRow("a", "b", "c")
+	if tb.Err() != first {
+		t.Error("sticky error replaced by later error")
+	}
+	if !strings.Contains(tb.String(), "!!") {
+		t.Errorf("rendered table hides the error:\n%s", tb.String())
+	}
 }
 
 func TestTableAlignment(t *testing.T) {

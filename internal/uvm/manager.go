@@ -713,7 +713,13 @@ func (m *Manager) commitMigration(plan []memdef.PageNum) {
 	// which is randomized; plan order is the deterministic equivalent).
 	byChunk := m.migBuf[:0]
 	for _, p := range plan {
-		m.table.Map(p, m.allocFrame())
+		if err := m.table.Map(p, m.allocFrame()); err != nil {
+			// Double map: a driver integrity violation (the plan overlaps a
+			// resident page). Fail-stop the run with an audit-class error
+			// instead of simulating corrupted residency state.
+			m.integrityFail("pagetable-map", "migration-commit", err)
+			return
+		}
 		st := m.chunkState(p.Chunk())
 		idx := p.Index()
 		st.inflight = st.inflight.Clear(idx)
@@ -777,8 +783,25 @@ func (m *Manager) auditTransition(trigger string) {
 	}
 }
 
+// integrityFail fail-stops the run on a driver integrity violation err found
+// at trigger: reported through the attached auditor (so chaos tests can
+// assert its class and check name) as a structured *audit.IntegrityError, or
+// recorded directly as the run failure when auditing is off. Either way the
+// violation surfaces through Failure / Result.Err instead of panicking.
+func (m *Manager) integrityFail(check, trigger string, err error) {
+	if m.aud != nil {
+		m.aud.Report(audit.ClassCapacity, check, trigger, err.Error())
+		if aerr := m.aud.Err(); aerr != nil {
+			m.fail(aerr)
+			return
+		}
+	}
+	m.fail(err)
+}
+
 // evictOne selects and evicts one victim chunk, returning false when no
-// victim is available. excludeChunk is the chunk of the pending fault.
+// victim is available (or when the eviction hit an integrity violation and
+// fail-stopped the run). excludeChunk is the chunk of the pending fault.
 func (m *Manager) evictOne(excludeChunk memdef.ChunkID) bool {
 	victim, ok := m.policy.SelectVictim(func(c memdef.ChunkID) bool {
 		if c == excludeChunk {
@@ -790,16 +813,19 @@ func (m *Manager) evictOne(excludeChunk memdef.ChunkID) bool {
 	if !ok {
 		return false
 	}
-	m.evictChunk(victim)
-	return true
+	return m.evictChunk(victim)
 }
 
 // evictChunk unmaps every resident page of victim, shoots down TLBs, charges
-// dirty write-back, and notifies the policy and prefetcher.
-func (m *Manager) evictChunk(victim memdef.ChunkID) {
+// dirty write-back, and notifies the policy and prefetcher. It returns false
+// without evicting when the victim violates the driver's residency
+// invariants, fail-stopping the run with an audit-class integrity error.
+func (m *Manager) evictChunk(victim memdef.ChunkID) bool {
 	st := m.lookupChunk(victim)
 	if st == nil || st.resident == 0 {
-		panic(fmt.Sprintf("uvm: evicting non-resident chunk %v", victim))
+		m.integrityFail("evict-nonresident", "eviction",
+			fmt.Errorf("uvm: evicting non-resident chunk %v", victim))
+		return false
 	}
 	dirtyBytes := 0
 	n := 0
@@ -808,7 +834,13 @@ func (m *Manager) evictChunk(victim memdef.ChunkID) {
 		idx := bits.TrailingZeros16(uint16(rem))
 		rem &^= 1 << uint(idx)
 		p := victim.Page(idx)
-		pte := m.table.Unmap(p)
+		pte, err := m.table.Unmap(p)
+		if err != nil {
+			// The page table and the residency bitmap disagree: fail-stop
+			// before the books are cooked any further.
+			m.integrityFail("pagetable-unmap", "eviction", err)
+			return false
+		}
 		m.freeFrame(pte.Frame)
 		if pte.Dirty {
 			dirtyBytes += memdef.PageBytes
@@ -860,6 +892,7 @@ func (m *Manager) evictChunk(victim memdef.ChunkID) {
 		m.stats.EvictedPages > uint64(m.cfg.ThrashAbortFactor)*uint64(m.footprintPages) {
 		m.aborted = true
 	}
+	return true
 }
 
 // invalidateAll shoots down every page of mask in chunk c from t.

@@ -104,7 +104,7 @@ func TestPartialChunkRefetchAfterPatternMigration(t *testing.T) {
 	// Pattern migration brings only the strided half of a chunk; a later
 	// fault on an unmigrated page must migrate the remainder, not panic on
 	// double-mapping.
-	pf := prefetch.NewPattern(prefetch.Scheme2, 0)
+	pf := prefetch.MustPattern(prefetch.Scheme2, 0)
 	r := newRig(t, 3*memdef.ChunkPages, evict.NewLRU(), pf)
 	// Touch strided pages of chunk 0, fill with chunks 1..3 to evict it.
 	for i := 0; i < memdef.ChunkPages; i += 2 {

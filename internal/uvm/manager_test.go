@@ -1,11 +1,14 @@
 package uvm
 
 import (
+	"errors"
 	"testing"
 
+	"github.com/reproductions/cppe/internal/audit"
 	"github.com/reproductions/cppe/internal/engine"
 	"github.com/reproductions/cppe/internal/evict"
 	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/pagetable"
 	"github.com/reproductions/cppe/internal/prefetch"
 	"github.com/reproductions/cppe/internal/xbus"
 )
@@ -197,7 +200,7 @@ func TestEvictionShootsDownTLBs(t *testing.T) {
 }
 
 func TestUntouchLevelReportedToPrefetcher(t *testing.T) {
-	pf := prefetch.NewPattern(prefetch.Scheme2, 0)
+	pf := prefetch.MustPattern(prefetch.Scheme2, 0)
 	r := newRig(t, 2*memdef.ChunkPages, evict.NewLRU(), pf)
 	// Touch only page 0 of chunk 0: untouch level 15 >= 8, recorded.
 	r.access(t, 0, memdef.ChunkID(0).FirstPage())
@@ -209,7 +212,7 @@ func TestUntouchLevelReportedToPrefetcher(t *testing.T) {
 }
 
 func TestFullyTouchedChunkNotRecorded(t *testing.T) {
-	pf := prefetch.NewPattern(prefetch.Scheme2, 0)
+	pf := prefetch.MustPattern(prefetch.Scheme2, 0)
 	r := newRig(t, 2*memdef.ChunkPages, evict.NewLRU(), pf)
 	for i := 0; i < memdef.ChunkPages; i++ {
 		r.access(t, 0, memdef.ChunkID(0).Page(i))
@@ -283,8 +286,56 @@ func TestMHPEIntegrationWithManager(t *testing.T) {
 		return r.m.Stats().FaultEvents
 	}
 	lruFaults := run(evict.NewLRU(), prefetch.NewLocality())
-	mhpeFaults := run(evict.NewMHPE(evict.MHPEOptions{}), prefetch.NewPattern(prefetch.Scheme2, 0))
+	mhpeFaults := run(evict.NewMHPE(evict.MHPEOptions{}), prefetch.MustPattern(prefetch.Scheme2, 0))
 	if mhpeFaults >= lruFaults {
 		t.Fatalf("MHPE faults (%d) not better than LRU (%d) on cyclic pattern", mhpeFaults, lruFaults)
+	}
+}
+
+// TestIntegrityFailStopOnDoubleMap corrupts the page table so an incoming
+// migration commit double-maps a page, and asserts the run fail-stops with
+// the pagetable sentinel surfaced through Failure instead of panicking.
+func TestIntegrityFailStopOnDoubleMap(t *testing.T) {
+	r := newRig(t, 0, evict.NewLRU(), prefetch.NewLocality())
+	// Corrupt: page 1 of chunk 0 is mapped in the page table but not marked
+	// resident, so the locality plan for a fault on page 0 still includes it.
+	if err := r.m.table.Map(memdef.ChunkID(0).Page(1), 999); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Schedule(0, func() {
+		r.m.Translate(0, memdef.Access{Addr: memdef.ChunkID(0).Page(0).Addr()}, func() {})
+	})
+	if _, err := r.eng.Run(r.m.Aborted); err != nil {
+		t.Fatal(err)
+	}
+	if !r.m.Aborted() {
+		t.Fatal("double map did not abort the run")
+	}
+	if err := r.m.Failure(); !errors.Is(err, pagetable.ErrDoubleMap) {
+		t.Fatalf("Failure() = %v, want ErrDoubleMap", err)
+	}
+}
+
+// TestIntegrityFailStopIsAuditClass repeats the double-map fail-stop with an
+// auditor attached: the failure must surface as a structured capacity-class
+// *audit.IntegrityError naming the pagetable-map check.
+func TestIntegrityFailStopIsAuditClass(t *testing.T) {
+	r := newRig(t, 0, evict.NewLRU(), prefetch.NewLocality())
+	r.m.AttachAuditor(audit.New())
+	if err := r.m.table.Map(memdef.ChunkID(0).Page(1), 999); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Schedule(0, func() {
+		r.m.Translate(0, memdef.Access{Addr: memdef.ChunkID(0).Page(0).Addr()}, func() {})
+	})
+	if _, err := r.eng.Run(r.m.Aborted); err != nil {
+		t.Fatal(err)
+	}
+	var ierr *audit.IntegrityError
+	if err := r.m.Failure(); !errors.As(err, &ierr) {
+		t.Fatalf("Failure() = %v, want *audit.IntegrityError", err)
+	}
+	if ierr.Class != audit.ClassCapacity || ierr.Check != "pagetable-map" || ierr.Trigger != "migration-commit" {
+		t.Fatalf("integrity error = %+v", ierr)
 	}
 }
