@@ -6,10 +6,18 @@
 //
 //	cppe-sim -bench SRD -setup cppe -rate 50
 //	cppe-sim -bench NW -setup baseline -rate 75 -scale 0.1
+//	cppe-sim -bench SRD -setup cppe -rate 50 -checkpoint-every 100000 -checkpoint-file srd.ckpt
+//	cppe-sim -resume srd.ckpt -checkpoint-every 100000
+//	cppe-sim -bench SRD -setup cppe -rate 50 -json
 //	cppe-sim -list
+//
+// The exit status is 0 only for clean, completed simulations; crashed or
+// errored runs (thrash aborts, driver failures, integrity violations) exit 1
+// after printing their report.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +40,28 @@ func main() {
 		auditOn   = flag.Bool("audit", false, "enable the simulation integrity auditor (read-only; results unchanged)")
 		chaosSeed = flag.Int64("chaos-seed", 0, "arm deterministic fault injection with this seed (0 = off)")
 		system    = flag.String("system", "", "JSON file overriding Table-I system parameters (validated before running)")
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "write a resumable checkpoint every N simulated cycles (0 = off)")
+		ckptFile  = flag.String("checkpoint-file", "", "checkpoint file path (default <bench>_<setup>_<rate>.ckpt)")
+		resume    = flag.String("resume", "", "resume from a checkpoint file (its benchmark/setup/rate override the flags)")
+		jsonOut   = flag.Bool("json", false, "print the result as JSON (run errors rendered as strings)")
 	)
 	flag.Parse()
+
+	checkpointing := *ckptEvery > 0 || *ckptFile != "" || *resume != ""
+	if checkpointing {
+		if *chaosSeed != 0 {
+			fmt.Fprintln(os.Stderr, "cppe-sim: fault injection (-chaos-seed) cannot be checkpointed")
+			os.Exit(1)
+		}
+		if *trc != "" {
+			fmt.Fprintln(os.Stderr, "cppe-sim: trace runs (-trace) cannot be checkpointed")
+			os.Exit(1)
+		}
+		if *resume == "" && *ckptEvery == 0 {
+			fmt.Fprintln(os.Stderr, "cppe-sim: -checkpoint-file needs -checkpoint-every")
+			os.Exit(1)
+		}
+	}
 
 	if *list {
 		fmt.Println("benchmarks:")
@@ -71,14 +99,29 @@ func main() {
 	var r cppe.Result
 	var err error
 	name := *bench
-	if *trc != "" {
+	switch {
+	case *resume != "":
+		r, err = s.ResumeCheckpoint(*resume, *ckptEvery)
+		if err == nil {
+			// The checkpoint names the simulation; reflect it in the report
+			// (and in the baseline-speedup lookup below).
+			*bench, *setup, *rate = r.Request.Benchmark, r.Request.Setup, r.Request.Oversubscription
+			name = *bench
+		}
+	case *ckptEvery > 0:
+		path := *ckptFile
+		if path == "" {
+			path = fmt.Sprintf("%s_%s_%d.ckpt", *bench, *setup, *rate)
+		}
+		r, err = s.RunCheckpointed(cppe.Request{Benchmark: *bench, Setup: *setup, Oversubscription: *rate}, path, *ckptEvery)
+	case *trc != "":
 		var f *os.File
 		if f, err = os.Open(*trc); err == nil {
 			r, err = s.RunTraceFrom(f, *setup, *rate)
 			f.Close()
 		}
 		name = *trc
-	} else {
+	default:
 		r, err = s.Run(cppe.Request{Benchmark: *bench, Setup: *setup, Oversubscription: *rate})
 	}
 	if err != nil {
@@ -86,6 +129,33 @@ func main() {
 		os.Exit(1)
 	}
 	elapsed := time.Since(t0)
+
+	// A crashed or errored simulation still prints its report, then exits
+	// nonzero so scripts and CI can tell a clean run from a failed one.
+	exitCode := 0
+	if r.Crashed || r.Err != nil {
+		exitCode = 1
+	}
+
+	if *jsonOut {
+		// Err is an error interface value, which encoding/json renders as an
+		// opaque {}; shadow it with its message so results round-trip through
+		// scripts and diff byte-for-byte across runs.
+		out := struct {
+			cppe.Result
+			Err string `json:",omitempty"`
+		}{Result: r}
+		if r.Err != nil {
+			out.Err = r.Err.Error()
+		}
+		enc, jerr := json.MarshalIndent(out, "", "  ")
+		if jerr != nil {
+			fmt.Fprintln(os.Stderr, "cppe-sim:", jerr)
+			os.Exit(1)
+		}
+		fmt.Println(string(enc))
+		os.Exit(exitCode)
+	}
 
 	if *detail && *trc == "" {
 		out, derr := s.Describe(cppe.Request{Benchmark: *bench, Setup: *setup, Oversubscription: *rate})
@@ -95,7 +165,7 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("(simulated in %v)\n", elapsed.Round(time.Millisecond))
-		return
+		os.Exit(exitCode)
 	}
 
 	fmt.Printf("benchmark        %s\n", name)
@@ -127,4 +197,5 @@ func main() {
 			}
 		}
 	}
+	os.Exit(exitCode)
 }

@@ -252,6 +252,40 @@ func (s *Session) Run(req Request) (Result, error) {
 	return fromHarness(req, r), nil
 }
 
+// RunCheckpointed executes one simulation like Run, additionally writing a
+// resumable checkpoint to path roughly every everyCycles cycles of simulated
+// time. A process killed mid-run can continue from the last checkpoint with
+// ResumeCheckpoint. Fault injection (ChaosSeed) cannot be checkpointed: the
+// run fails with a structured error instead of writing a snapshot that could
+// not reproduce the injected schedule.
+func (s *Session) RunCheckpointed(req Request, path string, everyCycles uint64) (Result, error) {
+	if _, ok := workload.ByAbbr(req.Benchmark); !ok {
+		return Result{}, fmt.Errorf("cppe: unknown benchmark %q (see Benchmarks())", req.Benchmark)
+	}
+	if _, ok := s.h.Setup(req.Setup); !ok {
+		return Result{}, fmt.Errorf("cppe: unknown setup %q (see Setups())", req.Setup)
+	}
+	if req.Oversubscription < 0 || req.Oversubscription > 100 {
+		return Result{}, fmt.Errorf("cppe: oversubscription %d%% out of [0,100]", req.Oversubscription)
+	}
+	k := harness.Key{Bench: req.Benchmark, Setup: req.Setup, OversubPct: req.Oversubscription}
+	return fromHarness(req, s.h.RunCheckpointed(k, path, memdef.Cycle(everyCycles))), nil
+}
+
+// ResumeCheckpoint continues a simulation from a checkpoint file written by
+// RunCheckpointed (the file names its own benchmark, setup, and rate) and runs
+// it to completion, still checkpointing to the same path every everyCycles
+// cycles. Corrupt, truncated, or mismatched checkpoints return an error
+// without running anything; they are never silently resumed.
+func (s *Session) ResumeCheckpoint(path string, everyCycles uint64) (Result, error) {
+	r, err := s.h.Resume(path, memdef.Cycle(everyCycles))
+	if err != nil {
+		return Result{}, err
+	}
+	req := Request{Benchmark: r.Key.Bench, Setup: r.Key.Setup, Oversubscription: r.Key.OversubPct}
+	return fromHarness(req, r), nil
+}
+
 // MustRun is Run for known-good requests; it panics on a bad request.
 func (s *Session) MustRun(req Request) Result {
 	r, err := s.Run(req)

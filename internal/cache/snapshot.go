@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"github.com/reproductions/cppe/internal/snapshot"
+)
+
+// Encode writes the complete tag-store state: every line (tag, valid, dirty,
+// lru), the LRU tick, and the counters. Geometry is rebuilt from
+// configuration on restore; Decode rejects a line-count mismatch.
+func (c *Cache) Encode(w *snapshot.Writer) {
+	w.Mark("CACH")
+	w.PutU64(uint64(len(c.lines)))
+	for i := range c.lines {
+		l := &c.lines[i]
+		w.PutU64(l.tag)
+		w.PutBool(l.valid)
+		w.PutBool(l.dirty)
+		w.PutU64(l.lru)
+	}
+	w.PutU64(c.tick)
+	w.PutU64(c.hits)
+	w.PutU64(c.misses)
+	w.PutU64(c.evictions)
+	w.PutU64(c.writebacks)
+}
+
+// Decode restores the state written by Encode into a geometry-identical
+// cache.
+func (c *Cache) Decode(r *snapshot.Reader) {
+	r.ExpectMark("CACH")
+	n := r.GetCount(18)
+	if r.Err() != nil {
+		return
+	}
+	if n != len(c.lines) {
+		r.Failf("cache %s: %d lines in checkpoint, %d configured", c.name, n, len(c.lines))
+		return
+	}
+	for i := range c.lines {
+		c.lines[i] = line{
+			tag:   r.GetU64(),
+			valid: r.GetBool(),
+			dirty: r.GetBool(),
+			lru:   r.GetU64(),
+		}
+	}
+	c.tick = r.GetU64()
+	c.hits = r.GetU64()
+	c.misses = r.GetU64()
+	c.evictions = r.GetU64()
+	c.writebacks = r.GetU64()
+}

@@ -85,6 +85,13 @@ func (d *DRAM) route(a memdef.VirtAddr) (*channel, *bank, uint64) {
 // done when the data is available (read) or committed (write). The returned
 // cycle is the completion time.
 func (d *DRAM) Access(a memdef.VirtAddr, kind memdef.AccessKind, done func()) memdef.Cycle {
+	return d.AccessT(a, kind, engine.Tag{}, done)
+}
+
+// AccessT is Access with a snapshot tag describing done, so the completion
+// event stays serializable across a checkpoint (see engine.ScheduleTagged).
+// Accesses without a completion callback schedule nothing and need no tag.
+func (d *DRAM) AccessT(a memdef.VirtAddr, kind memdef.AccessKind, tag engine.Tag, done func()) memdef.Cycle {
 	ch, bk, row := d.route(a)
 	var svc memdef.Cycle
 	if bk.hasRow && bk.openRow == row {
@@ -104,7 +111,7 @@ func (d *DRAM) Access(a memdef.VirtAddr, kind memdef.AccessKind, done func()) me
 	bankDone := bk.res.Acquire(svc)
 	finish := ch.bus.AcquireAt(bankDone, d.cfg.DRAMBusLat)
 	if done != nil {
-		d.eng.ScheduleAt(finish, done)
+		d.eng.ScheduleAtTagged(finish, tag, done)
 	}
 	return finish
 }

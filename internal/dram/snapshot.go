@@ -1,0 +1,57 @@
+package dram
+
+import (
+	"github.com/reproductions/cppe/internal/snapshot"
+)
+
+// Encode writes the full DRAM timing state: per-bank open rows, row
+// counters and resource horizons, per-channel bus horizons, and the
+// read/write counters. Channel/bank geometry is rebuilt from configuration;
+// Decode rejects a mismatch.
+func (d *DRAM) Encode(w *snapshot.Writer) {
+	w.Mark("DRAM")
+	w.PutU64(uint64(len(d.channels)))
+	for _, ch := range d.channels {
+		ch.bus.Encode(w)
+		w.PutU64(uint64(len(ch.banks)))
+		for _, bk := range ch.banks {
+			bk.res.Encode(w)
+			w.PutU64(bk.openRow)
+			w.PutBool(bk.hasRow)
+			w.PutU64(bk.rowHits)
+			w.PutU64(bk.rowMisses)
+		}
+	}
+	w.PutU64(d.reads)
+	w.PutU64(d.writes)
+}
+
+// Decode restores the state written by Encode into a geometry-identical
+// DRAM.
+func (d *DRAM) Decode(r *snapshot.Reader) {
+	r.ExpectMark("DRAM")
+	if n := r.GetCount(8); r.Err() == nil && n != len(d.channels) {
+		r.Failf("dram: %d channels in checkpoint, %d configured", n, len(d.channels))
+	}
+	if r.Err() != nil {
+		return
+	}
+	for _, ch := range d.channels {
+		ch.bus.Decode(r)
+		if n := r.GetCount(8); r.Err() == nil && n != len(ch.banks) {
+			r.Failf("dram: %d banks in checkpoint, %d configured", n, len(ch.banks))
+		}
+		if r.Err() != nil {
+			return
+		}
+		for _, bk := range ch.banks {
+			bk.res.Decode(r)
+			bk.openRow = r.GetU64()
+			bk.hasRow = r.GetBool()
+			bk.rowHits = r.GetU64()
+			bk.rowMisses = r.GetU64()
+		}
+	}
+	d.reads = r.GetU64()
+	d.writes = r.GetU64()
+}

@@ -44,7 +44,21 @@ type eventNode struct {
 	fn    func()
 	argFn func(uint64)
 	arg   uint64
-	next  *eventNode
+	// tag is the serializable description of the callback for checkpointing
+	// (zero Kind = untagged; see snapshot.go). Production scheduling paths
+	// use the *Tagged variants so every in-flight event can be re-created
+	// from its tag on restore.
+	tag  Tag
+	next *eventNode
+}
+
+// Tag is a serializable event descriptor: Kind names the callback (component
+// kinds live in per-package constant ranges; 0 is reserved for untagged) and
+// A/B carry its operands (a warp gid, a walk ID, a page number...). On
+// restore, a machine-level resolver maps each Tag back to a closure.
+type Tag struct {
+	Kind uint16
+	A, B uint64
 }
 
 // bucket is one per-cycle FIFO list in the ring.
@@ -95,6 +109,13 @@ type Engine struct {
 	wdCount    uint64
 	wdCycle    memdef.Cycle
 	wdDeadline time.Time
+
+	// Pause boundary: when armed, Run returns ErrPaused between events as
+	// soon as the next pending event lies beyond pauseAt. Every event at or
+	// before pauseAt has then fired, so the machine state is exactly the
+	// state "at the end of cycle pauseAt" — a checkpointable boundary.
+	pauseAt  memdef.Cycle
+	pauseSet bool
 }
 
 // New returns an empty engine at cycle 0.
@@ -223,6 +244,51 @@ func (e *Engine) ScheduleAt(at memdef.Cycle, fn func()) {
 	e.insert(n, at)
 }
 
+// ScheduleTagged is Schedule with a snapshot tag: tag must describe fn well
+// enough for the machine's resolver to re-create it on restore. Production
+// scheduling paths use the tagged variants; untagged events make the engine
+// state unserializable (EncodeQueue refuses) but are fine for tests and
+// ad-hoc tooling.
+func (e *Engine) ScheduleTagged(delay memdef.Cycle, tag Tag, fn func()) {
+	if fn == nil {
+		//cppelint:panicfree nil-callback guard catches a wiring bug at the call site; the harness converts the panic to Result.Err via ErrPanic
+		panic("engine: ScheduleTagged called with nil fn")
+	}
+	n := e.alloc()
+	n.fn = fn
+	n.tag = tag
+	e.insert(n, e.now+delay)
+}
+
+// ScheduleAtTagged is ScheduleAt with a snapshot tag (see ScheduleTagged).
+func (e *Engine) ScheduleAtTagged(at memdef.Cycle, tag Tag, fn func()) {
+	if at < e.now {
+		//cppelint:panicfree scheduling in the past is a component bug that would silently corrupt event order; fail loudly, recovered by the harness
+		panic(fmt.Sprintf("engine: ScheduleAtTagged(%d) in the past (now=%d)", at, e.now))
+	}
+	if fn == nil {
+		//cppelint:panicfree nil-callback guard catches a wiring bug at the call site; the harness converts the panic to Result.Err via ErrPanic
+		panic("engine: ScheduleAtTagged called with nil fn")
+	}
+	n := e.alloc()
+	n.fn = fn
+	n.tag = tag
+	e.insert(n, at)
+}
+
+// ScheduleArgTagged is ScheduleArg with a snapshot tag (see ScheduleTagged).
+func (e *Engine) ScheduleArgTagged(delay memdef.Cycle, tag Tag, fn func(uint64), arg uint64) {
+	if fn == nil {
+		//cppelint:panicfree nil-callback guard catches a wiring bug at the call site; the harness converts the panic to Result.Err via ErrPanic
+		panic("engine: ScheduleArgTagged called with nil fn")
+	}
+	n := e.alloc()
+	n.argFn = fn
+	n.arg = arg
+	n.tag = tag
+	e.insert(n, e.now+delay)
+}
+
 // ScheduleArgAt is ScheduleAt's allocation-free variant (see ScheduleArg).
 func (e *Engine) ScheduleArgAt(at memdef.Cycle, fn func(uint64), arg uint64) {
 	if at < e.now {
@@ -299,6 +365,41 @@ var ErrBudget = fmt.Errorf("engine: event budget exhausted")
 // zero-delay event loop — caught long before ErrBudget would fire.
 var ErrNoProgress = fmt.Errorf("engine: no forward progress (frontier cycle frozen) within watchdog window")
 
+// ErrPaused is returned by Run when the pause boundary armed with PauseAt is
+// reached: every event at or before the boundary cycle has fired and the next
+// pending event lies beyond it. The queue is intact; calling Run again (after
+// ClearPause or a later PauseAt) resumes exactly where execution stopped.
+var ErrPaused = fmt.Errorf("engine: paused at cycle boundary")
+
+// PauseAt arms a pause boundary: Run returns ErrPaused once all events at or
+// before cycle have fired. Pausing in the past (cycle < Now) pauses before
+// the next event.
+func (e *Engine) PauseAt(cycle memdef.Cycle) {
+	e.pauseAt = cycle
+	e.pauseSet = true
+}
+
+// ClearPause disarms the pause boundary.
+func (e *Engine) ClearPause() { e.pauseSet = false }
+
+// peekNext returns the cycle of the next pending event, if any.
+func (e *Engine) peekNext() (memdef.Cycle, bool) {
+	if e.pending == 0 {
+		return 0, false
+	}
+	var best memdef.Cycle
+	have := false
+	if e.ringCount > 0 {
+		at, _ := e.nextRing()
+		best, have = at, true
+	}
+	if len(e.overflow) > 0 && (!have || e.overflow[0].at < best) {
+		best = e.overflow[0].at
+		have = true
+	}
+	return best, have
+}
+
 // watchdogCheck is consulted once per fired event while the watchdog is
 // armed. It returns true when the no-progress condition is met.
 func (e *Engine) watchdogCheck() bool {
@@ -341,6 +442,11 @@ func (e *Engine) Run(done func() bool) (memdef.Cycle, error) {
 		if e.budget != 0 && e.fired-start >= e.budget {
 			return e.now, ErrBudget
 		}
+		if e.pauseSet {
+			if at, ok := e.peekNext(); ok && at > e.pauseAt {
+				return e.now, ErrPaused
+			}
+		}
 		n := e.popNext()
 		if n.at < e.now {
 			//cppelint:panicfree time monotonicity invariant on the zero-alloc dispatch path; the harness converts the panic to Result.Err via ErrPanic
@@ -352,6 +458,7 @@ func (e *Engine) Run(done func() bool) (memdef.Cycle, error) {
 		// callback may schedule new events, which can then reuse this node.
 		fn, argFn, arg := n.fn, n.argFn, n.arg
 		n.fn, n.argFn, n.arg = nil, nil, 0
+		n.tag = Tag{}
 		n.next = e.free
 		e.free = n
 		if fn != nil {

@@ -2,6 +2,13 @@ package engine
 
 import "github.com/reproductions/cppe/internal/memdef"
 
+// waiter is one queued Acquire: the callback plus the snapshot tag that can
+// re-create it on restore (zero tag for legacy untagged acquires).
+type waiter struct {
+	tag Tag
+	fn  func()
+}
+
 // Semaphore is a counting semaphore for event-driven code: up to cap holders
 // at once, FIFO hand-off to waiters. It models structures with a bounded
 // number of concurrent contexts, such as the 64-walk page table walker.
@@ -9,7 +16,7 @@ type Semaphore struct {
 	eng     *Engine
 	cap     int
 	held    int
-	waiters []func()
+	waiters []waiter
 	peak    int
 }
 
@@ -22,17 +29,23 @@ func NewSemaphore(eng *Engine, capacity int) *Semaphore {
 }
 
 // Acquire grants a slot to fn as soon as one is available (immediately, via a
-// zero-delay event, if the semaphore is not full).
-func (s *Semaphore) Acquire(fn func()) {
+// zero-delay event, if the semaphore is not full). Untagged acquires are for
+// tests and tooling; production paths use AcquireTagged so in-flight grants
+// and queued waiters stay checkpointable.
+func (s *Semaphore) Acquire(fn func()) { s.AcquireTagged(Tag{}, fn) }
+
+// AcquireTagged is Acquire with a snapshot tag describing fn, so that both
+// the zero-delay grant event and a queued waiter can be serialized.
+func (s *Semaphore) AcquireTagged(tag Tag, fn func()) {
 	if s.held < s.cap {
 		s.held++
 		if s.held > s.peak {
 			s.peak = s.held
 		}
-		s.eng.Schedule(0, fn)
+		s.eng.ScheduleTagged(0, tag, fn)
 		return
 	}
-	s.waiters = append(s.waiters, fn)
+	s.waiters = append(s.waiters, waiter{tag: tag, fn: fn})
 }
 
 // Release returns a slot; the oldest waiter (if any) is granted it.
@@ -44,7 +57,7 @@ func (s *Semaphore) Release() {
 	if len(s.waiters) > 0 {
 		next := s.waiters[0]
 		s.waiters = s.waiters[1:]
-		s.eng.Schedule(0, next)
+		s.eng.ScheduleTagged(0, next.tag, next.fn)
 		return
 	}
 	s.held--

@@ -1,0 +1,291 @@
+package evict
+
+import (
+	"sort"
+
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/snapshot"
+)
+
+// Snapshotter is the checkpoint interface every repository policy implements:
+// EncodeState writes the policy's complete mutable state, DecodeState restores
+// it into a freshly constructed policy of the same configuration.
+type Snapshotter interface {
+	EncodeState(w *snapshot.Writer)
+	DecodeState(r *snapshot.Reader)
+}
+
+// Encode writes the chain entries head (LRU) to tail (MRU).
+func (c *Chain) Encode(w *snapshot.Writer) {
+	w.Mark("CHN ")
+	w.PutInt(c.n)
+	for e := c.head; e != nil; e = e.next {
+		w.PutU64(uint64(e.Chunk))
+		w.PutInt(e.Counter)
+		w.PutInt(e.InsertedInterval)
+		w.PutInt(e.LastRefInterval)
+	}
+}
+
+// Decode restores the chain written by Encode. The chain must be empty.
+func (c *Chain) Decode(r *snapshot.Reader) {
+	r.ExpectMark("CHN ")
+	n := r.GetCount(32)
+	if r.Err() != nil {
+		return
+	}
+	if c.n != 0 {
+		r.Failf("evict: decode into a non-empty chain (%d entries)", c.n)
+		return
+	}
+	for i := 0; i < n; i++ {
+		id := memdef.ChunkID(r.GetU64())
+		if r.Err() != nil {
+			return
+		}
+		if c.index[id] != nil {
+			r.Failf("evict: chunk %v appears twice in encoded chain", id)
+			return
+		}
+		e := c.PushTail(id)
+		e.Counter = r.GetInt()
+		e.InsertedInterval = r.GetInt()
+		e.LastRefInterval = r.GetInt()
+	}
+}
+
+// putChunkSet writes a chunk set in sorted order (map iteration order is
+// randomized and must never reach an encoder).
+func putChunkSet(w *snapshot.Writer, set map[memdef.ChunkID]bool) {
+	keys := make([]memdef.ChunkID, 0, len(set))
+	//cppelint:ordered keys are sorted before encoding
+	for c := range set {
+		keys = append(keys, c)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	w.PutInt(len(keys))
+	for _, c := range keys {
+		w.PutU64(uint64(c))
+	}
+}
+
+// getChunkSet restores a set written by putChunkSet.
+func getChunkSet(r *snapshot.Reader, set map[memdef.ChunkID]bool) {
+	n := r.GetCount(8)
+	for i := 0; i < n; i++ {
+		set[memdef.ChunkID(r.GetU64())] = true
+	}
+}
+
+// putBufRing writes a wrong-eviction ring (empty slots hold invalidChunk).
+func putBufRing(w *snapshot.Writer, buf []memdef.ChunkID, next int) {
+	w.PutInt(len(buf))
+	w.PutInt(next)
+	for _, c := range buf {
+		w.PutU64(uint64(c))
+	}
+}
+
+// getBufRing restores a ring written by putBufRing.
+func getBufRing(r *snapshot.Reader) (buf []memdef.ChunkID, next int) {
+	n := r.GetCount(8)
+	next = r.GetInt()
+	if r.Err() != nil {
+		return nil, 0
+	}
+	if n > 0 && (next < 0 || next >= n) {
+		r.Failf("evict: ring cursor %d out of range for %d slots", next, n)
+		return nil, 0
+	}
+	buf = make([]memdef.ChunkID, n)
+	for i := range buf {
+		buf[i] = memdef.ChunkID(r.GetU64())
+	}
+	return buf, next
+}
+
+// EncodeState implements Snapshotter.
+func (l *LRU) EncodeState(w *snapshot.Writer) {
+	w.Mark("PLRU")
+	l.chain.Encode(w)
+}
+
+// DecodeState implements Snapshotter.
+func (l *LRU) DecodeState(r *snapshot.Reader) {
+	r.ExpectMark("PLRU")
+	l.chain.Decode(r)
+}
+
+// EncodeState implements Snapshotter.
+func (l *TrueLRU) EncodeState(w *snapshot.Writer) {
+	w.Mark("PTLR")
+	l.chain.Encode(w)
+}
+
+// DecodeState implements Snapshotter.
+func (l *TrueLRU) DecodeState(r *snapshot.Reader) {
+	r.ExpectMark("PTLR")
+	l.chain.Decode(r)
+}
+
+// EncodeState implements Snapshotter. The reserved fraction is construction
+// configuration and is written only as a cross-check.
+func (l *ReservedLRU) EncodeState(w *snapshot.Writer) {
+	w.Mark("PRSV")
+	w.PutF64(l.fraction)
+	l.chain.Encode(w)
+}
+
+// DecodeState implements Snapshotter.
+func (l *ReservedLRU) DecodeState(r *snapshot.Reader) {
+	r.ExpectMark("PRSV")
+	if f := r.GetF64(); r.Err() == nil && f != l.fraction {
+		r.Failf("evict: reserved fraction %v in checkpoint, %v configured", f, l.fraction)
+		return
+	}
+	l.chain.Decode(r)
+}
+
+// EncodeState implements Snapshotter.
+func (p *Random) EncodeState(w *snapshot.Writer) {
+	w.Mark("PRND")
+	w.PutU64(p.rng.s)
+	w.PutInt(len(p.ids))
+	for _, c := range p.ids {
+		w.PutU64(uint64(c))
+	}
+}
+
+// DecodeState implements Snapshotter. The where index is rebuilt from ids.
+func (p *Random) DecodeState(r *snapshot.Reader) {
+	r.ExpectMark("PRND")
+	p.rng.s = r.GetU64()
+	n := r.GetCount(8)
+	if r.Err() != nil {
+		return
+	}
+	if len(p.ids) != 0 {
+		r.Failf("evict: decode into a non-empty random policy")
+		return
+	}
+	for i := 0; i < n; i++ {
+		c := memdef.ChunkID(r.GetU64())
+		if r.Err() != nil {
+			return
+		}
+		if _, dup := p.where[c]; dup {
+			r.Failf("evict: chunk %v appears twice in random policy", c)
+			return
+		}
+		p.where[c] = len(p.ids)
+		p.ids = append(p.ids, c)
+	}
+}
+
+// EncodeState implements Snapshotter.
+func (h *HPE) EncodeState(w *snapshot.Writer) {
+	w.Mark("PHPE")
+	h.chain.Encode(w)
+	w.PutInt(h.interval)
+	w.PutInt(h.migratedInInterval)
+	w.PutBool(h.memFull)
+	w.PutInt(int(h.class))
+	w.PutInt(int(h.strategy))
+	w.PutInt(h.searchStart)
+	putBufRing(w, h.buf, h.bufNext)
+	putChunkSet(w, h.inBuf)
+	w.PutInt(h.w)
+	w.PutInt(h.curStratIntervals)
+	w.PutInt(h.lruIntervalsTotal)
+	w.PutInt(h.mruIntervalsTotal)
+	w.PutInt(int(h.stats.Class))
+	w.PutU64(h.stats.StrategySwitches)
+	w.PutU64(h.stats.WrongEvictions)
+	w.PutU64(h.stats.Evictions)
+	w.PutInt(h.stats.ChainLenAtFull)
+	w.PutF64(h.stats.QualifiedFractionAtFull)
+}
+
+// DecodeState implements Snapshotter.
+func (h *HPE) DecodeState(r *snapshot.Reader) {
+	r.ExpectMark("PHPE")
+	h.chain.Decode(r)
+	h.interval = r.GetInt()
+	h.migratedInInterval = r.GetInt()
+	h.memFull = r.GetBool()
+	h.class = HPEClass(r.GetInt())
+	h.strategy = Strategy(r.GetInt())
+	h.searchStart = r.GetInt()
+	h.buf, h.bufNext = getBufRing(r)
+	getChunkSet(r, h.inBuf)
+	h.w = r.GetInt()
+	h.curStratIntervals = r.GetInt()
+	h.lruIntervalsTotal = r.GetInt()
+	h.mruIntervalsTotal = r.GetInt()
+	h.stats.Class = HPEClass(r.GetInt())
+	h.stats.StrategySwitches = r.GetU64()
+	h.stats.WrongEvictions = r.GetU64()
+	h.stats.Evictions = r.GetU64()
+	h.stats.ChainLenAtFull = r.GetInt()
+	h.stats.QualifiedFractionAtFull = r.GetF64()
+}
+
+// EncodeState implements Snapshotter.
+func (m *MHPE) EncodeState(w *snapshot.Writer) {
+	w.Mark("PMHP")
+	m.chain.Encode(w)
+	w.PutInt(int(m.strategy))
+	w.PutInt(m.interval)
+	w.PutInt(m.migratedInInterval)
+	w.PutBool(m.memFull)
+	w.PutInt(m.intervalsSinceFull)
+	w.PutInt(m.forward)
+	w.PutInt(m.u1)
+	w.PutInt(m.u2)
+	w.PutInt(m.w)
+	putBufRing(w, m.buf, m.bufNext)
+	w.PutInt(m.bufCap)
+	putChunkSet(w, m.inBuf)
+	putChunkSet(w, m.pendWrong)
+	w.PutInt(m.stats.SwitchedAtInterval)
+	w.PutInt(m.stats.InitialForward)
+	w.PutU64(m.stats.WrongEvictions)
+	w.PutU64(m.stats.Evictions)
+	w.PutInt(len(m.stats.IntervalUntouch))
+	for _, u := range m.stats.IntervalUntouch {
+		w.PutInt(u)
+	}
+	w.PutInt(m.stats.BufferCap)
+	w.PutInt(m.stats.ChainLenAtFull)
+	w.PutU64(m.stats.ForwardAdjustments)
+}
+
+// DecodeState implements Snapshotter.
+func (m *MHPE) DecodeState(r *snapshot.Reader) {
+	r.ExpectMark("PMHP")
+	m.chain.Decode(r)
+	m.strategy = Strategy(r.GetInt())
+	m.interval = r.GetInt()
+	m.migratedInInterval = r.GetInt()
+	m.memFull = r.GetBool()
+	m.intervalsSinceFull = r.GetInt()
+	m.forward = r.GetInt()
+	m.u1 = r.GetInt()
+	m.u2 = r.GetInt()
+	m.w = r.GetInt()
+	m.buf, m.bufNext = getBufRing(r)
+	m.bufCap = r.GetInt()
+	getChunkSet(r, m.inBuf)
+	getChunkSet(r, m.pendWrong)
+	m.stats.SwitchedAtInterval = r.GetInt()
+	m.stats.InitialForward = r.GetInt()
+	m.stats.WrongEvictions = r.GetU64()
+	m.stats.Evictions = r.GetU64()
+	n := r.GetCount(8)
+	for i := 0; i < n; i++ {
+		m.stats.IntervalUntouch = append(m.stats.IntervalUntouch, r.GetInt())
+	}
+	m.stats.BufferCap = r.GetInt()
+	m.stats.ChainLenAtFull = r.GetInt()
+	m.stats.ForwardAdjustments = r.GetU64()
+}

@@ -1,0 +1,289 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/snapshot"
+)
+
+// A checkpoint file is one snapshot frame (magic, version, length, CRC32)
+// whose payload is a "CKPT" metadata envelope followed by the machine's own
+// framed state. The metadata pins everything the resuming process must
+// reproduce before a restore can even be attempted: the simulation key, the
+// session knobs that shape workload generation, the complete derived system
+// configuration, and a fingerprint of the generated traces. A mismatch on any
+// of them is a structured ErrCheckpointMismatch — the resume falls back to a
+// fresh run instead of continuing a simulation it cannot reproduce.
+
+// ErrCheckpointMismatch reports a checkpoint that is well-formed but was taken
+// by a session with different parameters (key, seed, scale, system
+// configuration, or workload), so its machine state cannot be restored here.
+var ErrCheckpointMismatch = errors.New("harness: checkpoint does not match this session")
+
+// traceFingerprint hashes the generated warp traces (FNV-1a over addresses,
+// kinds, and warp boundaries) so a resume detects workload drift even when
+// every scalar session knob matches.
+func traceFingerprint(traces [][]memdef.Access) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, tr := range traces {
+		mix(uint64(len(tr)))
+		for _, a := range tr {
+			mix(uint64(a.Addr))
+			mix(uint64(a.Kind))
+		}
+	}
+	return h
+}
+
+// writeCheckpoint atomically replaces path with the machine's current state.
+// The temporary file lives in the same directory so the rename is atomic on
+// POSIX filesystems; a process killed mid-write leaves the previous checkpoint
+// intact.
+func (s *Session) writeCheckpoint(path string, k Key, b *built) error {
+	blob, err := b.machine.Snapshot()
+	if err != nil {
+		return fmt.Errorf("harness: checkpoint %v: %w", k, err)
+	}
+	cfgJSON, err := memdef.ConfigJSON(b.cfg)
+	if err != nil {
+		return fmt.Errorf("harness: checkpoint %v: %w", k, err)
+	}
+	w := snapshot.NewWriter(len(blob) + 256)
+	w.Mark("CKPT")
+	w.PutString(k.Bench)
+	w.PutString(k.Setup)
+	w.PutInt(k.OversubPct)
+	w.PutF64(s.cfg.Scale)
+	w.PutInt(s.cfg.Warps)
+	w.PutInt(s.cfg.AccessesPerPage)
+	w.PutI64(s.cfg.Seed)
+	w.PutString(string(cfgJSON))
+	w.PutU64(b.traceHash)
+	w.PutInt(b.footprint)
+	w.PutU64(uint64(b.machine.Eng.Now()))
+	w.PutBytes(blob)
+	data, err := w.Frame()
+	if err != nil {
+		return fmt.Errorf("harness: checkpoint %v: %w", k, err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("harness: checkpoint %v: %w", k, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("harness: checkpoint %v: %w", k, err)
+	}
+	return nil
+}
+
+// runCheckpointed drives a built machine to completion, writing a checkpoint
+// to path after every pause boundary. every <= 0 degrades to a plain run.
+func (s *Session) runCheckpointed(k Key, b *built, path string, every memdef.Cycle) Result {
+	if every <= 0 || path == "" {
+		return s.collect(k, b, b.machine.Run(s.cfg.MaxEvents))
+	}
+	for {
+		res, paused := b.machine.RunUntil(s.cfg.MaxEvents, b.machine.Eng.Now()+every)
+		if !paused {
+			return s.collect(k, b, res)
+		}
+		if err := s.writeCheckpoint(path, k, b); err != nil {
+			// Fail-stop: a run the user asked to checkpoint but that cannot be
+			// checkpointed (or persisted) is reported, not silently degraded.
+			return Result{Key: k, Crashed: true, Err: err,
+				FootprintPages: b.footprint, CapacityPages: b.cfg.MemoryPages}
+		}
+	}
+}
+
+// RunCheckpointed executes one simulation like Run, additionally writing a
+// resumable checkpoint to path roughly every `every` cycles of simulated time
+// (at the first event boundary past each multiple). The result is cached like
+// any other run. Checkpointing requires a checkpointable configuration: fault
+// injection (ChaosSeed) cannot be checkpointed and fails the run.
+func (s *Session) RunCheckpointed(k Key, path string, every memdef.Cycle) Result {
+	s.mu.Lock()
+	if r, ok := s.cache[k]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+	r := s.runCheckpointedFresh(k, path, every)
+	s.mu.Lock()
+	s.cache[k] = r
+	s.mu.Unlock()
+	return r
+}
+
+func (s *Session) runCheckpointedFresh(k Key, path string, every memdef.Cycle) (out Result) {
+	defer recoverRun(k, &out)
+	b, err := s.build(k)
+	if err != nil {
+		return Result{Key: k, Crashed: true, Err: err}
+	}
+	return s.runCheckpointed(k, b, path, every)
+}
+
+// recoverRun converts a panic into a crashed Result (shared with runOne's
+// inline recovery semantics).
+func recoverRun(k Key, out *Result) {
+	if r := recover(); r != nil {
+		*out = Result{Key: k, Crashed: true, Err: fmt.Errorf("%w: %v", ErrPanic, r)}
+	}
+}
+
+// Resume continues a simulation from a checkpoint file: it validates the
+// envelope against this session's configuration, rebuilds the machine from
+// scratch, restores the serialized state into it, and runs to completion
+// (still checkpointing to the same path every `every` cycles). The error
+// return covers unreadable, corrupt, or mismatched checkpoints — the caller
+// decides whether to fall back to a fresh run. The completed result is cached
+// under the checkpoint's key.
+func (s *Session) Resume(path string, every memdef.Cycle) (Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: resume: %w", err)
+	}
+	r, err := snapshot.Open(data)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	r.ExpectMark("CKPT")
+	k := Key{Bench: r.GetString(), Setup: r.GetString(), OversubPct: r.GetInt()}
+	scale := r.GetF64()
+	warps := r.GetInt()
+	app := r.GetInt()
+	seed := r.GetI64()
+	cfgJSON := r.GetString()
+	traceHash := r.GetU64()
+	footprint := r.GetInt()
+	cycle := memdef.Cycle(r.GetU64())
+	blob := r.GetBytes()
+	if err := r.Err(); err != nil {
+		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	if err := r.Close(); err != nil {
+		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+
+	if scale != s.cfg.Scale || warps != s.cfg.Warps || app != s.cfg.AccessesPerPage || seed != s.cfg.Seed {
+		return Result{}, fmt.Errorf(
+			"%w: checkpoint (scale=%v warps=%d accesses/page=%d seed=%d), session (scale=%v warps=%d accesses/page=%d seed=%d)",
+			ErrCheckpointMismatch, scale, warps, app, seed,
+			s.cfg.Scale, s.cfg.Warps, s.cfg.AccessesPerPage, s.cfg.Seed)
+	}
+	b, err := s.build(k)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	wantJSON, err := memdef.ConfigJSON(b.cfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	if cfgJSON != string(wantJSON) {
+		return Result{}, fmt.Errorf("%w: system configuration differs for %v", ErrCheckpointMismatch, k)
+	}
+	if traceHash != b.traceHash || footprint != b.footprint {
+		return Result{}, fmt.Errorf("%w: workload differs for %v", ErrCheckpointMismatch, k)
+	}
+	if err := b.machine.Restore(blob); err != nil {
+		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	if got := b.machine.Eng.Now(); got != cycle {
+		return Result{}, fmt.Errorf("%w: restored clock %d, envelope says %d", snapshot.ErrCorrupt, got, cycle)
+	}
+
+	out := func() (out Result) {
+		defer recoverRun(k, &out)
+		return s.runCheckpointed(k, b, path, every)
+	}()
+	s.mu.Lock()
+	s.cache[k] = out
+	s.mu.Unlock()
+	return out, nil
+}
+
+// CheckpointPath names the checkpoint file for one key inside dir, with the
+// key's characters conservatively mapped to a portable filename.
+func CheckpointPath(dir string, k Key) string {
+	mangle := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+				return r
+			default:
+				return '_'
+			}
+		}, s)
+	}
+	name := fmt.Sprintf("%s_%s_%d.ckpt", mangle(k.Bench), mangle(k.Setup), k.OversubPct)
+	return filepath.Join(dir, name)
+}
+
+// WarmCheckpointed is Warm with kill-resilience: each missing key checkpoints
+// into its own file under dir every `every` cycles, and a key whose valid
+// checkpoint already exists (from a previous, interrupted sweep) resumes from
+// it instead of starting over. Invalid, corrupt, or mismatched checkpoints are
+// discarded and the run starts fresh — a sweep never silently resumes from
+// state it cannot trust. Completed runs delete their checkpoint files.
+func (s *Session) WarmCheckpointed(keys []Key, dir string, every memdef.Cycle) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("harness: checkpoint dir: %w", err)
+	}
+	var missing []Key
+	s.mu.Lock()
+	seen := map[Key]bool{}
+	for _, k := range keys {
+		if _, ok := s.cache[k]; !ok && !seen[k] {
+			missing = append(missing, k)
+			seen[k] = true
+		}
+	}
+	s.mu.Unlock()
+	sem := make(chan struct{}, s.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for _, k := range missing {
+		k := k
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			path := CheckpointPath(dir, k)
+			r, err := s.Resume(path, every)
+			if err != nil {
+				if !errors.Is(err, os.ErrNotExist) {
+					// Unusable checkpoint: remove it so the fresh run's first
+					// checkpoint replaces it cleanly.
+					os.Remove(path)
+				}
+				r = s.RunCheckpointed(k, path, every)
+			}
+			if !r.Crashed || r.Err == nil {
+				// The run reached a terminal simulation outcome (including a
+				// modeled thrash abort); its checkpoint has served its purpose.
+				os.Remove(path)
+			}
+		}()
+	}
+	wg.Wait()
+	return nil
+}

@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+func checkpointTestConfig() Config {
+	return Config{Scale: 0.05, Parallelism: 2}
+}
+
+func ckptKey() Key { return Key{Bench: "SRD", Setup: "cppe", OversubPct: 50} }
+
+// TestRunCheckpointedMatchesRun pins the headline property at the harness
+// layer: a run interrupted by periodic checkpoints produces a bit-for-bit
+// identical Result to an uninterrupted run.
+func TestRunCheckpointedMatchesRun(t *testing.T) {
+	k := ckptKey()
+	want := NewSession(checkpointTestConfig()).Run(k)
+	if want.Err != nil {
+		t.Fatalf("reference run failed: %v", want.Err)
+	}
+
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	got := NewSession(checkpointTestConfig()).RunCheckpointed(k, path, want.Cycles/7)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("checkpointed result differs:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Errorf("no checkpoint left on disk: %v", err)
+	}
+}
+
+// TestResumeContinuesToSameResult restores the last on-disk checkpoint of a
+// completed run in a brand-new session and expects the same final Result.
+func TestResumeContinuesToSameResult(t *testing.T) {
+	k := ckptKey()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	want := NewSession(checkpointTestConfig()).RunCheckpointed(k, path, 150_000)
+	if want.Err != nil {
+		t.Fatalf("checkpointed run failed: %v", want.Err)
+	}
+
+	got, err := NewSession(checkpointTestConfig()).Resume(path, 150_000)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed result differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestResumeRejectsMismatchedSession(t *testing.T) {
+	k := ckptKey()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if r := NewSession(checkpointTestConfig()).RunCheckpointed(k, path, 150_000); r.Err != nil {
+		t.Fatalf("checkpointed run failed: %v", r.Err)
+	}
+
+	other := checkpointTestConfig()
+	other.Seed = 99
+	if _, err := NewSession(other).Resume(path, 0); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("seed mismatch: err = %v, want ErrCheckpointMismatch", err)
+	}
+
+	scaled := checkpointTestConfig()
+	scaled.Scale = 0.1
+	if _, err := NewSession(scaled).Resume(path, 0); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("scale mismatch: err = %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
+	k := ckptKey()
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if r := NewSession(checkpointTestConfig()).RunCheckpointed(k, path, 150_000); r.Err != nil {
+		t.Fatalf("checkpointed run failed: %v", r.Err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	flip := func(t *testing.T, mut []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := NewSession(checkpointTestConfig()).Resume(path, 0); err == nil {
+			t.Error("corrupt checkpoint resumed")
+		}
+	}
+	t.Run("bitflip", func(t *testing.T) {
+		mut := append([]byte(nil), data...)
+		mut[len(mut)/2] ^= 0xff
+		flip(t, mut)
+	})
+	t.Run("truncated", func(t *testing.T) {
+		flip(t, data[:len(data)/3])
+	})
+	t.Run("empty", func(t *testing.T) {
+		flip(t, nil)
+	})
+	t.Run("missing", func(t *testing.T) {
+		os.Remove(path)
+		if _, err := NewSession(checkpointTestConfig()).Resume(path, 0); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("missing file: err = %v, want fs not-exist", err)
+		}
+	})
+}
+
+// TestWarmCheckpointedSweep models a killed-and-restarted sweep: the first
+// sweep leaves a checkpoint behind (simulated by keeping the file of a
+// completed checkpointed run), and the restarted sweep resumes from it —
+// falling back to a fresh run when the leftover is corrupt — with results
+// identical to an uncheckpointed sweep either way.
+func TestWarmCheckpointedSweep(t *testing.T) {
+	keys := []Key{ckptKey(), {Bench: "HSD", Setup: "cppe", OversubPct: 50}}
+	ref := NewSession(checkpointTestConfig())
+	ref.Warm(keys)
+	want := []Result{ref.Run(keys[0]), ref.Run(keys[1])}
+
+	dir := t.TempDir()
+	// Plant a mid-run checkpoint for keys[0], as a killed sweep would leave.
+	if r := NewSession(checkpointTestConfig()).RunCheckpointed(keys[0], CheckpointPath(dir, keys[0]), 150_000); r.Err != nil {
+		t.Fatalf("planting checkpoint: %v", r.Err)
+	}
+
+	s := NewSession(checkpointTestConfig())
+	if err := s.WarmCheckpointed(keys, dir, 150_000); err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	for i, k := range keys {
+		if got := s.Run(k); !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("%v: sweep result differs:\n got %+v\nwant %+v", k, got, want[i])
+		}
+		if _, err := os.Stat(CheckpointPath(dir, k)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("%v: completed run left its checkpoint behind (err=%v)", k, err)
+		}
+	}
+
+	// Restart again with a corrupt leftover: the sweep must fall back to a
+	// fresh run and still land on the reference result.
+	if err := os.WriteFile(CheckpointPath(dir, keys[0]), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSession(checkpointTestConfig())
+	if err := s2.WarmCheckpointed(keys[:1], dir, 150_000); err != nil {
+		t.Fatalf("sweep with corrupt leftover: %v", err)
+	}
+	if got := s2.Run(keys[0]); !reflect.DeepEqual(got, want[0]) {
+		t.Errorf("corrupt-fallback result differs:\n got %+v\nwant %+v", got, want[0])
+	}
+}
+
+// TestResumeEquivalenceGoldenConfigs pins the headline resume-equivalence
+// property across the golden setup families: for each configuration, a run
+// checkpointed at three distinct mid-run cycles and resumed in a brand-new
+// session must finish with a Result bit-for-bit identical to the
+// uninterrupted run. The checkpoint cycle is controlled exactly by pausing
+// the built machine at the chosen boundary before serializing.
+func TestResumeEquivalenceGoldenConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	keys := []Key{
+		{Bench: "SRD", Setup: "baseline", OversubPct: 50},
+		{Bench: "HSD", Setup: "random", OversubPct: 50},
+		{Bench: "NW", Setup: "lru-20%", OversubPct: 50},
+		{Bench: "B+T", Setup: "cppe", OversubPct: 50},
+		{Bench: "2DC", Setup: "cppe", OversubPct: 75},
+		{Bench: "KMN", Setup: "hpe", OversubPct: 50},
+		{Bench: "HIS", Setup: "tree", OversubPct: 50},
+	}
+	for _, k := range keys {
+		k := k
+		t.Run(fmt.Sprintf("%s_%s_%d", k.Bench, k.Setup, k.OversubPct), func(t *testing.T) {
+			want := NewSession(checkpointTestConfig()).Run(k)
+			if want.Err != nil || want.Cycles == 0 {
+				t.Fatalf("degenerate reference run: %+v", want)
+			}
+			for _, c := range []memdef.Cycle{want.Cycles / 5, want.Cycles / 2, want.Cycles * 4 / 5} {
+				c := c
+				t.Run(fmt.Sprintf("cycle_%d", c), func(t *testing.T) {
+					s := NewSession(checkpointTestConfig())
+					b, err := s.build(k)
+					if err != nil {
+						t.Fatalf("build: %v", err)
+					}
+					if _, paused := b.machine.RunUntil(s.cfg.MaxEvents, c); !paused {
+						t.Fatalf("run finished before checkpoint cycle %d", c)
+					}
+					path := filepath.Join(t.TempDir(), "golden.ckpt")
+					if err := s.writeCheckpoint(path, k, b); err != nil {
+						t.Fatalf("checkpoint: %v", err)
+					}
+					got, err := NewSession(checkpointTestConfig()).Resume(path, 0)
+					if err != nil {
+						t.Fatalf("resume: %v", err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("resumed result differs at cycle %d:\n got %+v\nwant %+v", c, got, want)
+					}
+				})
+			}
+		})
+	}
+}

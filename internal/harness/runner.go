@@ -241,6 +241,86 @@ func (s *Session) CachedRuns() int {
 	return len(s.cache)
 }
 
+// built is one fully constructed simulation, ready to run (or to restore a
+// checkpoint into: the same build recipe from the same session configuration
+// produces an identical machine).
+type built struct {
+	machine   *sm.Machine
+	policy    evict.Policy
+	pf        prefetch.Prefetcher
+	cfg       memdef.Config
+	footprint int
+	traceHash uint64
+}
+
+// build constructs the simulation for one key: workload generation, policy and
+// prefetcher instantiation, and machine assembly.
+func (s *Session) build(k Key) (*built, error) {
+	bench, ok := workload.ByAbbr(k.Bench)
+	if !ok {
+		return nil, fmt.Errorf("%w: benchmark %q", ErrUnknownKey, k.Bench)
+	}
+	setup, ok := s.setups[k.Setup]
+	if !ok {
+		return nil, fmt.Errorf("%w: setup %q", ErrUnknownKey, k.Setup)
+	}
+	generated := bench.Generate(workload.Options{
+		Scale:           s.cfg.Scale,
+		Warps:           s.cfg.Warps,
+		AccessesPerPage: s.cfg.AccessesPerPage,
+		Seed:            s.cfg.Seed,
+	})
+	cfg := s.cfg.Base
+	cfg.MemoryPages = capacityFor(generated.FootprintPages, k.OversubPct)
+
+	policy, err := setup.NewPolicy(cfg, s.cfg.Seed^int64(len(k.Bench))^0x5eed)
+	if err != nil {
+		return nil, fmt.Errorf("harness: setup %q policy: %w", k.Setup, err)
+	}
+	pf, err := setup.NewPrefetcher(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: setup %q prefetcher: %w", k.Setup, err)
+	}
+	machine := sm.NewMachine(cfg, policy, pf, generated.Warps)
+	machine.SetFootprint(generated.FootprintPages)
+	machine.SetWatchdog(s.cfg.WatchdogWindow)
+	return &built{
+		machine:   machine,
+		policy:    policy,
+		pf:        pf,
+		cfg:       cfg,
+		footprint: generated.FootprintPages,
+		traceHash: traceFingerprint(generated.Warps),
+	}, nil
+}
+
+// collect assembles the harness Result from a finished machine.
+func (s *Session) collect(k Key, b *built, res sm.Result) Result {
+	out := Result{
+		Key:            k,
+		Cycles:         res.Cycles,
+		Crashed:        res.Crashed,
+		Err:            res.Err,
+		Accesses:       res.Accesses,
+		FootprintPages: b.footprint,
+		CapacityPages:  b.cfg.MemoryPages,
+		UVM:            b.machine.MMU.Stats(),
+	}
+	if m, ok := b.policy.(*evict.MHPE); ok {
+		st := m.Stats()
+		out.MHPE = &st
+	}
+	if h, ok := b.policy.(*evict.HPE); ok {
+		st := h.Stats()
+		out.HPE = &st
+	}
+	if p, ok := b.pf.(*prefetch.Pattern); ok {
+		st := p.Stats()
+		out.Pattern = &st
+	}
+	return out
+}
+
 // runOne executes one simulation (no caching). A panic anywhere in the run —
 // workload generation, machine construction, or the simulation itself — is
 // recovered into Result.Err, so one broken run degrades into one failed table
@@ -255,59 +335,12 @@ func (s *Session) runOne(k Key) (out Result) {
 			}
 		}
 	}()
-	bench, ok := workload.ByAbbr(k.Bench)
-	if !ok {
-		return Result{Key: k, Crashed: true, Err: fmt.Errorf("%w: benchmark %q", ErrUnknownKey, k.Bench)}
-	}
-	setup, ok := s.setups[k.Setup]
-	if !ok {
-		return Result{Key: k, Crashed: true, Err: fmt.Errorf("%w: setup %q", ErrUnknownKey, k.Setup)}
-	}
-	generated := bench.Generate(workload.Options{
-		Scale:           s.cfg.Scale,
-		Warps:           s.cfg.Warps,
-		AccessesPerPage: s.cfg.AccessesPerPage,
-		Seed:            s.cfg.Seed,
-	})
-	cfg := s.cfg.Base
-	cfg.MemoryPages = capacityFor(generated.FootprintPages, k.OversubPct)
-
-	policy, err := setup.NewPolicy(cfg, s.cfg.Seed^int64(len(k.Bench))^0x5eed)
+	b, err := s.build(k)
 	if err != nil {
-		return Result{Key: k, Crashed: true, Err: fmt.Errorf("harness: setup %q policy: %w", k.Setup, err)}
+		return Result{Key: k, Crashed: true, Err: err}
 	}
-	pf, err := setup.NewPrefetcher(cfg)
-	if err != nil {
-		return Result{Key: k, Crashed: true, Err: fmt.Errorf("harness: setup %q prefetcher: %w", k.Setup, err)}
-	}
-	machine := sm.NewMachine(cfg, policy, pf, generated.Warps)
-	machine.SetFootprint(generated.FootprintPages)
-	machine.SetWatchdog(s.cfg.WatchdogWindow)
-	res := machine.Run(s.cfg.MaxEvents)
-
-	out = Result{
-		Key:            k,
-		Cycles:         res.Cycles,
-		Crashed:        res.Crashed,
-		Err:            res.Err,
-		Accesses:       res.Accesses,
-		FootprintPages: generated.FootprintPages,
-		CapacityPages:  cfg.MemoryPages,
-		UVM:            machine.MMU.Stats(),
-	}
-	if m, ok := policy.(*evict.MHPE); ok {
-		st := m.Stats()
-		out.MHPE = &st
-	}
-	if h, ok := policy.(*evict.HPE); ok {
-		st := h.Stats()
-		out.HPE = &st
-	}
-	if p, ok := pf.(*prefetch.Pattern); ok {
-		st := p.Stats()
-		out.Pattern = &st
-	}
-	return out
+	res := b.machine.Run(s.cfg.MaxEvents)
+	return s.collect(k, b, res)
 }
 
 // RunTrace simulates a pre-recorded trace (instead of a generated Table II

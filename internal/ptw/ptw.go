@@ -10,7 +10,9 @@
 //
 // Walk contexts are pooled: each context owns its stage callbacks (built once
 // when the context is first created) and a reusable step buffer, so a walk
-// performs no per-level allocation.
+// performs no per-level allocation. Contexts carry a stable registry ID so
+// every in-flight walk — and every event it has scheduled — can be
+// serialized by ID and re-linked on checkpoint restore (see snapshot.go).
 package ptw
 
 import (
@@ -21,20 +23,39 @@ import (
 )
 
 // MemAccessor is the walker's view of the GPU memory hierarchy: an
-// asynchronous access that invokes done when the data returns.
+// asynchronous access that invokes done when the data returns. The tag
+// describes done for checkpointing (see engine.ScheduleTagged); accessors
+// must propagate it to whatever completion event they schedule.
 type MemAccessor interface {
-	Access(a memdef.VirtAddr, kind memdef.AccessKind, done func())
+	Access(a memdef.VirtAddr, kind memdef.AccessKind, tag engine.Tag, done func())
 }
+
+// Snapshot tag kinds for walker-scheduled events (engine.Tag.A is the walk
+// registry ID).
+const (
+	// TagWalkGrant is the semaphore grant that starts walk A.
+	TagWalkGrant uint16 = 0x0201
+	// TagWalkStage is the PWC probe of walk A's current level.
+	TagWalkStage uint16 = 0x0202
+	// TagWalkMem is the PWC-miss memory read completion of walk A.
+	TagWalkMem uint16 = 0x0203
+)
 
 // walkState is one pooled in-flight walk.
 type walkState struct {
-	w     *Walker
-	p     memdef.PageNum
-	steps []pagetable.WalkStep
-	i     int
-	start memdef.Cycle
-	done  func(Result)
-	next  *walkState
+	w      *Walker
+	id     uint64 // registry ID, stable for the walker's lifetime
+	active bool
+	p      memdef.PageNum
+	steps  []pagetable.WalkStep
+	i      int
+	start  memdef.Cycle
+	done   func(Result)
+	// doneTag is the caller-supplied serializable description of done; the
+	// machine re-links done from it on restore. Zero for legacy callers,
+	// which makes an in-flight walk unserializable (checkpoint refused).
+	doneTag engine.Tag
+	next    *walkState
 
 	granted func() // a walker slot was acquired: start the walk
 	stage   func() // PWC probe of level steps[i]
@@ -48,7 +69,7 @@ func (x *walkState) advance() {
 		x.w.finish(x)
 		return
 	}
-	engine.After(x.w.eng, x.w.cfg.PWCLatency, x.stage)
+	x.w.eng.ScheduleTagged(x.w.cfg.PWCLatency, engine.Tag{Kind: TagWalkStage, A: x.id}, x.stage)
 }
 
 // Walker is the shared page-table walker.
@@ -59,7 +80,10 @@ type Walker struct {
 	pwc   *cache.Cache
 	slots *engine.Semaphore
 	mem   MemAccessor
-	free  *walkState
+	// states is the walk-context registry, indexed by walkState.id; free
+	// chains the inactive ones.
+	states []*walkState
+	free   *walkState
 
 	walks     uint64
 	faults    uint64
@@ -88,45 +112,63 @@ type Result struct {
 	Frame  pagetable.FrameNum
 }
 
+// newState builds a walk context with the next registry ID and its
+// once-allocated stage callbacks.
+func (w *Walker) newState() *walkState {
+	x := &walkState{w: w, id: uint64(len(w.states)), steps: make([]pagetable.WalkStep, 0, pagetable.Levels)}
+	x.granted = func() {
+		x.w.walks++
+		x.steps = x.w.table.AppendWalkPath(x.steps[:0], x.p)
+		x.i = -1
+		x.advance()
+	}
+	x.stage = func() {
+		s := x.steps[x.i]
+		// Every level access costs one PWC probe.
+		if x.w.pwc.Access(s.EntryAddr, memdef.Read).Hit {
+			x.w.pwcHits++
+			x.advance()
+			return
+		}
+		x.w.pwcMisses++
+		x.w.memReads++
+		x.w.mem.Access(s.EntryAddr, memdef.Read, engine.Tag{Kind: TagWalkMem, A: x.id}, x.memDone)
+	}
+	x.memDone = x.advance
+	w.states = append(w.states, x)
+	return x
+}
+
 // get pops (or builds) a walk context.
 func (w *Walker) get() *walkState {
 	x := w.free
 	if x == nil {
-		x = &walkState{w: w, steps: make([]pagetable.WalkStep, 0, pagetable.Levels)}
-		x.granted = func() {
-			x.w.walks++
-			x.steps = x.w.table.AppendWalkPath(x.steps[:0], x.p)
-			x.i = -1
-			x.advance()
-		}
-		x.stage = func() {
-			s := x.steps[x.i]
-			// Every level access costs one PWC probe.
-			if x.w.pwc.Access(s.EntryAddr, memdef.Read).Hit {
-				x.w.pwcHits++
-				x.advance()
-				return
-			}
-			x.w.pwcMisses++
-			x.w.memReads++
-			x.w.mem.Access(s.EntryAddr, memdef.Read, x.memDone)
-		}
-		x.memDone = x.advance
-		return x
+		x = w.newState()
+	} else {
+		w.free = x.next
+		x.next = nil
 	}
-	w.free = x.next
-	x.next = nil
+	x.active = true
 	return x
 }
 
 // Walk starts a page-table walk for page p. done is invoked when the walk
 // finishes, with the outcome. Walks beyond the concurrency limit queue FIFO.
+// Legacy untagged entry point (tests/tooling): an in-flight untagged walk
+// makes the machine unserializable.
 func (w *Walker) Walk(p memdef.PageNum, done func(Result)) {
+	w.WalkT(p, engine.Tag{}, done)
+}
+
+// WalkT is Walk with a snapshot tag describing done, so the walk's pending
+// completion can be re-linked on restore.
+func (w *Walker) WalkT(p memdef.PageNum, doneTag engine.Tag, done func(Result)) {
 	x := w.get()
 	x.p = p
 	x.done = done
+	x.doneTag = doneTag
 	x.start = w.eng.Now()
-	w.slots.Acquire(x.granted)
+	w.slots.AcquireTagged(engine.Tag{Kind: TagWalkGrant, A: x.id}, x.granted)
 }
 
 func (w *Walker) finish(x *walkState) {
@@ -139,6 +181,8 @@ func (w *Walker) finish(x *walkState) {
 	w.slots.Release()
 	done := x.done
 	x.done = nil
+	x.doneTag = engine.Tag{}
+	x.active = false
 	x.next = w.free
 	w.free = x
 	done(res)

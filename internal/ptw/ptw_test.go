@@ -15,9 +15,9 @@ type fixedMem struct {
 	n   int
 }
 
-func (m *fixedMem) Access(a memdef.VirtAddr, k memdef.AccessKind, done func()) {
+func (m *fixedMem) Access(a memdef.VirtAddr, k memdef.AccessKind, tag engine.Tag, done func()) {
 	m.n++
-	m.eng.Schedule(m.lat, done)
+	m.eng.ScheduleTagged(m.lat, tag, done)
 }
 
 func setup(t *testing.T) (*engine.Engine, memdef.Config, *pagetable.Table, *fixedMem, *Walker) {

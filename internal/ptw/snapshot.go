@@ -1,0 +1,166 @@
+package ptw
+
+import (
+	"fmt"
+
+	"github.com/reproductions/cppe/internal/engine"
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/pagetable"
+	"github.com/reproductions/cppe/internal/snapshot"
+)
+
+// Encode writes the walker state: the page-walk cache, the walk-slot
+// semaphore (with tagged waiters), the counters, and every in-flight walk
+// context — ID, page, progress index, the already-computed walk path (the
+// path is serialized verbatim, not recomputed, because the page table may
+// have changed since the walk started), and the caller's done tag. An
+// in-flight walk started through the legacy untagged Walk records
+// engine.ErrUntagged on w.
+func (w *Walker) Encode(sw *snapshot.Writer) {
+	sw.Mark("PTW ")
+	w.pwc.Encode(sw)
+	w.slots.Encode(sw)
+	sw.PutU64(w.walks)
+	sw.PutU64(w.faults)
+	sw.PutU64(w.pwcHits)
+	sw.PutU64(w.pwcMisses)
+	sw.PutU64(w.memReads)
+	sw.PutU64(uint64(w.totalLat))
+	sw.PutU64(uint64(len(w.states)))
+	active := 0
+	for _, x := range w.states {
+		if x.active {
+			active++
+		}
+	}
+	sw.PutU64(uint64(active))
+	for _, x := range w.states { // registry order = id order
+		if !x.active {
+			continue
+		}
+		if x.doneTag.Kind == 0 {
+			sw.Fail(fmt.Errorf("%w (ptw walk %d for %v)", engine.ErrUntagged, x.id, x.p))
+			return
+		}
+		sw.PutU64(x.id)
+		sw.PutU64(uint64(x.p))
+		sw.PutU64(uint64(int64(x.i)))
+		sw.PutU64(uint64(x.start))
+		sw.PutU16(x.doneTag.Kind)
+		sw.PutU64(x.doneTag.A)
+		sw.PutU64(x.doneTag.B)
+		sw.PutU64(uint64(len(x.steps)))
+		for _, s := range x.steps {
+			sw.PutU64(uint64(int64(s.Level)))
+			sw.PutU64(uint64(s.EntryAddr))
+		}
+	}
+}
+
+// Decode restores the walker from the frame written by Encode. linkDone maps
+// each in-flight walk's done tag back to its completion callback (the GMMU
+// supplies it after restoring its own translation registry). Decode must run
+// before the engine queue decode so ResolveEvent can find the contexts.
+func (w *Walker) Decode(r *snapshot.Reader, linkDone func(tag engine.Tag) (func(Result), error)) {
+	r.ExpectMark("PTW ")
+	w.pwc.Decode(r)
+	w.slots.Decode(r, w.ResolveEvent)
+	w.walks = r.GetU64()
+	w.faults = r.GetU64()
+	w.pwcHits = r.GetU64()
+	w.pwcMisses = r.GetU64()
+	w.memReads = r.GetU64()
+	w.totalLat = memdef.Cycle(r.GetU64())
+	total := r.GetCount(1)
+	active := r.GetCount(1)
+	if r.Err() != nil {
+		return
+	}
+	if len(w.states) != 0 {
+		r.Failf("ptw: decode into a walker with existing walk contexts")
+		return
+	}
+	if active > total {
+		r.Failf("ptw: %d active walks out of %d contexts", active, total)
+		return
+	}
+	for len(w.states) < total {
+		w.newState()
+	}
+	seen := make([]bool, total)
+	for i := 0; i < active; i++ {
+		id := r.GetU64()
+		if r.Err() != nil {
+			return
+		}
+		if id >= uint64(total) || seen[id] {
+			r.Failf("ptw: bad or duplicate walk id %d", id)
+			return
+		}
+		seen[id] = true
+		x := w.states[id]
+		x.active = true
+		x.p = memdef.PageNum(r.GetU64())
+		x.i = int(int64(r.GetU64()))
+		x.start = memdef.Cycle(r.GetU64())
+		x.doneTag = engine.Tag{Kind: r.GetU16(), A: r.GetU64(), B: r.GetU64()}
+		n := r.GetCount(16)
+		if r.Err() != nil {
+			return
+		}
+		if n > pagetable.Levels {
+			r.Failf("ptw: walk %d has %d steps (max %d)", id, n, pagetable.Levels)
+			return
+		}
+		x.steps = x.steps[:0]
+		for j := 0; j < n; j++ {
+			x.steps = append(x.steps, pagetable.WalkStep{
+				Level:     int(int64(r.GetU64())),
+				EntryAddr: memdef.VirtAddr(r.GetU64()),
+			})
+		}
+		if x.i < -1 || x.i > len(x.steps) {
+			r.Failf("ptw: walk %d progress %d out of range for %d steps", id, x.i, len(x.steps))
+			return
+		}
+		done, err := linkDone(x.doneTag)
+		if err != nil {
+			r.Fail(fmt.Errorf("%w: ptw walk %d: %v", snapshot.ErrCorrupt, id, err))
+			return
+		}
+		x.done = done
+	}
+	// Chain the inactive contexts onto the free list in descending id order,
+	// so get() hands them out in ascending order — the same order a fresh
+	// walker would allocate them.
+	w.free = nil
+	for i := total - 1; i >= 0; i-- {
+		if !w.states[i].active {
+			w.states[i].next = w.free
+			w.free = w.states[i]
+		}
+	}
+}
+
+// ResolveEvent maps a walker event tag back to its callback; the machine's
+// queue resolver delegates walker kinds here. Unknown IDs or inactive
+// contexts produce a structured error.
+func (w *Walker) ResolveEvent(tag engine.Tag) (func(), error) {
+	if tag.A >= uint64(len(w.states)) {
+		return nil, fmt.Errorf("ptw: tag %#04x references walk %d of %d", tag.Kind, tag.A, len(w.states))
+	}
+	x := w.states[tag.A]
+	if !x.active {
+		return nil, fmt.Errorf("ptw: tag %#04x references inactive walk %d", tag.Kind, tag.A)
+	}
+	switch tag.Kind {
+	case TagWalkGrant:
+		return x.granted, nil
+	case TagWalkStage:
+		return x.stage, nil
+	case TagWalkMem:
+		return x.memDone, nil
+	default:
+		return nil, fmt.Errorf("ptw: unknown event tag kind %#04x", tag.Kind)
+	}
+}

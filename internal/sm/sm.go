@@ -31,60 +31,98 @@ import (
 	"github.com/reproductions/cppe/internal/xbus"
 )
 
+// Snapshot tag kinds for SM-scheduled events (engine.Tag.A carries the
+// operand: a warp's global index or a memory-request registry ID).
+const (
+	// TagWarpStep issues warp A's next access after the compute gap.
+	TagWarpStep uint16 = 0x0101
+	// TagWarpL1 is warp A's post-translation L1 data-cache probe.
+	TagWarpL1 uint16 = 0x0102
+	// TagWarpFin is warp A's data-access completion (the done callback its
+	// L2/DRAM request carries).
+	TagWarpFin uint16 = 0x0103
+	// TagWarpXlat is the link tag naming warp A's translated callback; it
+	// never appears in the event queue (the MMU invokes the callback
+	// directly) but re-links in-flight translations on restore.
+	TagWarpXlat uint16 = 0x0104
+	// TagMemL2 is request A's L2 probe on the shared data path.
+	TagMemL2 uint16 = 0x0105
+)
+
 // memReq is one pooled request context for the shared L2/DRAM path: the
 // callback closure is created once per node and reads its operands from the
-// node, so a request costs no allocation after the pool warms up.
+// node, so a request costs no allocation after the pool warms up. Contexts
+// carry a stable registry ID so in-flight requests can be serialized by ID
+// and re-linked on checkpoint restore (see snapshot.go).
 type memReq struct {
-	mp   *memPath
-	a    memdef.VirtAddr
-	kind memdef.AccessKind
-	done func()
-	run  func()
-	next *memReq
+	mp     *memPath
+	id     uint64
+	active bool
+	a      memdef.VirtAddr
+	kind   memdef.AccessKind
+	tag    engine.Tag // the caller's serializable description of done
+	done   func()
+	run    func()
+	next   *memReq
 }
 
 // memPath is the shared L2-cache + DRAM data path, used by SM data accesses
 // (after their private L1) and by the page-table walker.
 type memPath struct {
-	eng  *engine.Engine
-	cfg  memdef.Config
-	l2   *cache.Cache
+	eng *engine.Engine
+	cfg memdef.Config
+	l2  *cache.Cache
+	// dram is the backing memory; reqs is the request registry indexed by
+	// memReq.id, free the chain of inactive contexts.
 	dram *dram.DRAM
+	reqs []*memReq
 	free *memReq
 }
 
-// Access implements ptw.MemAccessor: L2 lookup, then DRAM on a miss.
-func (mp *memPath) Access(a memdef.VirtAddr, kind memdef.AccessKind, done func()) {
+// newReq builds a request context with the next registry ID.
+func (mp *memPath) newReq() *memReq {
+	rq := &memReq{mp: mp, id: uint64(len(mp.reqs))}
+	rq.run = rq.l2Stage
+	mp.reqs = append(mp.reqs, rq)
+	return rq
+}
+
+// Access implements ptw.MemAccessor: L2 lookup, then DRAM on a miss. tag
+// describes done and rides along to whatever completion event is scheduled.
+func (mp *memPath) Access(a memdef.VirtAddr, kind memdef.AccessKind, tag engine.Tag, done func()) {
 	rq := mp.free
 	if rq == nil {
-		rq = &memReq{mp: mp}
-		rq.run = rq.l2Stage
+		rq = mp.newReq()
 	} else {
 		mp.free = rq.next
 		rq.next = nil
 	}
-	rq.a, rq.kind, rq.done = a, kind, done
-	engine.After(mp.eng, mp.cfg.L2HitLatency, rq.run)
+	rq.active = true
+	rq.a, rq.kind, rq.tag, rq.done = a, kind, tag, done
+	mp.eng.ScheduleTagged(mp.cfg.L2HitLatency, engine.Tag{Kind: TagMemL2, A: rq.id}, rq.run)
 }
 
 // l2Stage performs the L2 probe (and DRAM access on a miss). It copies its
 // operands out and releases the node first, so re-entrant Access calls from
 // the completion callback can reuse it.
 func (rq *memReq) l2Stage() {
-	mp, a, kind, done := rq.mp, rq.a, rq.kind, rq.done
+	mp, a, kind, tag, done := rq.mp, rq.a, rq.kind, rq.tag, rq.done
 	rq.done = nil
+	rq.tag = engine.Tag{}
+	rq.active = false
 	rq.next = mp.free
 	mp.free = rq
 	res := mp.l2.Access(a, kind)
 	if res.WritebackVictim {
-		// Dirty victim drains to DRAM off the critical path.
+		// Dirty victim drains to DRAM off the critical path (no completion
+		// callback, so no event and no tag).
 		mp.dram.Access(a, memdef.Write, nil)
 	}
 	if res.Hit {
 		done()
 		return
 	}
-	mp.dram.Access(a, kind, done)
+	mp.dram.AccessT(a, kind, tag, done)
 }
 
 // Warp is one in-flight access stream.
@@ -130,6 +168,7 @@ type Machine struct {
 	allWarps    []*warp
 	stepWarp    func(uint64) // shared ScheduleArg trampoline: allWarps[g].step()
 	activeWarps int
+	started     bool // warps seeded: a restored machine must not reseed
 	finished    memdef.Cycle
 
 	aud *audit.Auditor
@@ -197,7 +236,9 @@ func NewMachine(cfg memdef.Config, pol evict.Policy, pf prefetch.Prefetcher, tra
 			sm:    s,
 			trace: tr,
 		}
-		w.translated = func() { engine.After(m.Eng, m.Cfg.L1HitLatency, w.l1Stage) }
+		w.translated = func() {
+			m.Eng.ScheduleTagged(m.Cfg.L1HitLatency, engine.Tag{Kind: TagWarpL1, A: w.gid}, w.l1Stage)
+		}
 		w.l1Stage = func() {
 			res := s.l1.Access(w.acc.Addr, w.acc.Kind)
 			if res.WritebackVictim {
@@ -207,12 +248,12 @@ func NewMachine(cfg memdef.Config, pol evict.Policy, pf prefetch.Prefetcher, tra
 				w.finished()
 				return
 			}
-			m.mp.Access(w.acc.Addr, w.acc.Kind, w.finished)
+			m.mp.Access(w.acc.Addr, w.acc.Kind, engine.Tag{Kind: TagWarpFin, A: w.gid}, w.finished)
 		}
 		w.finished = func() {
 			w.sm.accessesDone++
 			w.sm.stallCycles += m.Eng.Now() - w.issue
-			m.Eng.ScheduleArg(m.Cfg.ComputeGapCycles, m.stepWarp, w.gid)
+			m.Eng.ScheduleArgTagged(m.Cfg.ComputeGapCycles, engine.Tag{Kind: TagWarpStep, A: w.gid}, m.stepWarp, w.gid)
 		}
 		s.warps = append(s.warps, w)
 		m.allWarps = append(m.allWarps, w)
@@ -256,18 +297,41 @@ type Result struct {
 // Run executes the machine to completion and returns the result. maxEvents
 // bounds runaway simulations (0 = a generous default).
 func (m *Machine) Run(maxEvents uint64) Result {
+	m.Eng.ClearPause()
+	res, _ := m.run(maxEvents)
+	return res
+}
+
+// RunUntil executes until the machine finishes or every event at cycles <=
+// pauseAt has fired, whichever comes first. paused reports that the machine
+// stopped at the pause boundary — a consistent checkpointable state — and the
+// accompanying Result is an intermediate reading, not a final one.
+func (m *Machine) RunUntil(maxEvents uint64, pauseAt memdef.Cycle) (res Result, paused bool) {
+	m.Eng.PauseAt(pauseAt)
+	defer m.Eng.ClearPause()
+	return m.run(maxEvents)
+}
+
+func (m *Machine) run(maxEvents uint64) (Result, bool) {
 	if maxEvents == 0 {
 		maxEvents = 2_000_000_000
 	}
 	m.Eng.SetEventBudget(maxEvents)
-	// SM-major order: each SM's warps are seeded back-to-back, preserving the
-	// deterministic same-cycle FIFO order the golden results were pinned with.
-	for _, s := range m.SMs {
-		for _, w := range s.warps {
-			m.Eng.ScheduleArg(0, m.stepWarp, w.gid)
+	if !m.started {
+		m.started = true
+		// SM-major order: each SM's warps are seeded back-to-back, preserving
+		// the deterministic same-cycle FIFO order the golden results were
+		// pinned with.
+		for _, s := range m.SMs {
+			for _, w := range s.warps {
+				m.Eng.ScheduleArgTagged(0, engine.Tag{Kind: TagWarpStep, A: w.gid}, m.stepWarp, w.gid)
+			}
 		}
 	}
 	_, err := m.Eng.Run(func() bool { return m.MMU.Aborted() })
+	if err == engine.ErrPaused {
+		return Result{Cycles: m.Eng.Now()}, true
+	}
 	if m.aud != nil {
 		// Close the audit window: catch corruption introduced after the last
 		// periodic tick. Read-only, so clean results are unchanged.
@@ -294,7 +358,7 @@ func (m *Machine) Run(maxEvents uint64) Result {
 	if res.Err != nil {
 		res.Crashed = true
 	}
-	return res
+	return res, false
 }
 
 // step issues the warp's next access, or retires the warp.
@@ -306,7 +370,7 @@ func (w *warp) step() {
 	w.acc = w.trace[w.pos]
 	w.pos++
 	w.issue = w.sm.machine.Eng.Now()
-	w.sm.machine.MMU.Translate(w.sm.id, w.acc, w.translated)
+	w.sm.machine.MMU.TranslateT(w.sm.id, w.acc, engine.Tag{Kind: TagWarpXlat, A: w.gid}, w.translated)
 }
 
 // ActiveWarps returns the number of warps that have not retired.

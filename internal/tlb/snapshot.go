@@ -1,0 +1,51 @@
+package tlb
+
+import (
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/snapshot"
+)
+
+// Encode writes the complete TLB state: every slot (page, valid, lru), the
+// LRU tick, and the counters. Geometry is not written — the decoder's TLB is
+// built from the same configuration, and Decode rejects a slot-count
+// mismatch.
+func (t *TLB) Encode(w *snapshot.Writer) {
+	w.Mark("TLB ")
+	w.PutU64(uint64(len(t.entries)))
+	for i := range t.entries {
+		e := &t.entries[i]
+		w.PutU64(uint64(e.page))
+		w.PutBool(e.valid)
+		w.PutU64(e.lru)
+	}
+	w.PutU64(t.tick)
+	w.PutU64(t.hits)
+	w.PutU64(t.misses)
+	w.PutU64(t.evictions)
+	w.PutU64(t.shootdowns)
+}
+
+// Decode restores the state written by Encode into a geometry-identical TLB.
+func (t *TLB) Decode(r *snapshot.Reader) {
+	r.ExpectMark("TLB ")
+	n := r.GetCount(17)
+	if r.Err() != nil {
+		return
+	}
+	if n != len(t.entries) {
+		r.Failf("tlb %s: %d slots in checkpoint, %d configured", t.name, n, len(t.entries))
+		return
+	}
+	for i := range t.entries {
+		t.entries[i] = entry{
+			page:  memdef.PageNum(r.GetU64()),
+			valid: r.GetBool(),
+			lru:   r.GetU64(),
+		}
+	}
+	t.tick = r.GetU64()
+	t.hits = r.GetU64()
+	t.misses = r.GetU64()
+	t.evictions = r.GetU64()
+	t.shootdowns = r.GetU64()
+}

@@ -33,6 +33,40 @@ import (
 	"github.com/reproductions/cppe/internal/xbus"
 )
 
+// Snapshot tag kinds for driver-scheduled events (engine.Tag.A carries the
+// operand: a translation registry ID, a page number, or a migration ID).
+const (
+	// TagXlatL1 is translation A's post-L1-latency TLB probe.
+	TagXlatL1 uint16 = 0x0301
+	// TagXlatL2Grant is translation A's L2 TLB port grant.
+	TagXlatL2Grant uint16 = 0x0302
+	// TagXlatL2Stage is translation A's post-L2-latency TLB probe.
+	TagXlatL2Stage uint16 = 0x0303
+	// TagXlatFault is translation A's far-fault completion (also the tag
+	// under which it waits on a chunk page).
+	TagXlatFault uint16 = 0x0304
+	// TagXlatWalkDone is the link tag naming translation A's walkDone
+	// callback; it never appears in the event queue (the walker invokes the
+	// callback directly) but re-links in-flight walks on restore.
+	TagXlatWalkDone uint16 = 0x0305
+	// TagProcessFault is the driver-slot grant that starts servicing the
+	// claimed fault on page A.
+	TagProcessFault uint16 = 0x0306
+	// TagFaultRetry is the backoff retry of the fault on page A, attempt B.
+	TagFaultRetry uint16 = 0x0307
+	// TagMigSvc is the end of migration A's fixed fault-service latency.
+	TagMigSvc uint16 = 0x0308
+	// TagMigXfer is migration A's H2D transfer completion.
+	TagMigXfer uint16 = 0x0309
+)
+
+// tagged pairs a waiter callback with the serializable tag that re-creates
+// it on restore.
+type tagged struct {
+	tag engine.Tag
+	fn  func()
+}
+
 // chunkState is the GMMU's per-resident-chunk bookkeeping: which pages are
 // resident, which are being migrated, and which have been touched by the GPU
 // since migration (the touch bit vector read at eviction time).
@@ -52,16 +86,18 @@ type chunkState struct {
 	smMask    uint64
 	smMaskAll bool
 	// waiters holds, per chunk page, the callbacks to wake when the page
-	// becomes resident. Allocated on first use; slices are recycled.
-	waiters *[memdef.ChunkPages][]func()
+	// becomes resident, each paired with its snapshot tag. Allocated on
+	// first use; slices are recycled.
+	waiters *[memdef.ChunkPages][]tagged
 }
 
-// addWaiter queues resume until page index idx becomes resident.
-func (st *chunkState) addWaiter(idx int, resume func()) {
+// addWaiter queues resume (re-creatable from tag) until page index idx
+// becomes resident.
+func (st *chunkState) addWaiter(idx int, tag engine.Tag, resume func()) {
 	if st.waiters == nil {
-		st.waiters = new([memdef.ChunkPages][]func())
+		st.waiters = new([memdef.ChunkPages][]tagged)
 	}
-	st.waiters[idx] = append(st.waiters[idx], resume)
+	st.waiters[idx] = append(st.waiters[idx], tagged{tag: tag, fn: resume})
 }
 
 // Stats aggregates the driver-level counters the evaluation reports.
@@ -157,20 +193,37 @@ func (b Breakdown) AvgLatency(p PathKind) float64 {
 // xlat is one pooled in-flight translation. Its stage callbacks are built
 // once (when the context is first allocated) and read their operands from the
 // context, so a translation allocates nothing after the pool warms up.
+// Contexts carry a stable registry ID so every in-flight translation — and
+// every event it has scheduled — can be serialized by ID and re-linked on
+// checkpoint restore (see snapshot.go).
 type xlat struct {
-	m     *Manager
-	sm    memdef.SMID
-	page  memdef.PageNum
-	write bool
-	start memdef.Cycle
-	done  func()
-	next  *xlat
+	m      *Manager
+	id     uint64 // registry ID, stable for the manager's lifetime
+	active bool
+	sm     memdef.SMID
+	page   memdef.PageNum
+	write  bool
+	start  memdef.Cycle
+	done   func()
+	// doneTag is the caller-supplied serializable description of done; the
+	// machine re-links done from it on restore. Zero for legacy callers,
+	// which makes an in-flight translation unserializable.
+	doneTag engine.Tag
+	next    *xlat
 
 	l1Stage   func()           // after the L1 TLB latency: probe the L1 TLB
 	l2Grant   func()           // an L2 TLB port was granted
 	l2Stage   func()           // after the L2 TLB latency: probe, walk on miss
 	walkDone  func(ptw.Result) // page-table walk completed
 	faultDone func()           // far-fault service completed
+}
+
+// migEntry is one in-flight migration in the registry: the planned pages,
+// addressed by a stable migration ID carried in the service-latency and
+// transfer-completion event tags.
+type migEntry struct {
+	plan   []memdef.PageNum
+	active bool
 }
 
 // chunkMask pairs a chunk with the page mask migrated into it, for the
@@ -237,8 +290,15 @@ type Manager struct {
 	// migSlots bounds concurrent fault-batch processing by the driver.
 	migSlots *engine.Semaphore
 
-	xlatFree *xlat       // translation-context pool
-	migBuf   []chunkMask // commitMigration per-chunk grouping scratch
+	// xlats is the translation-context registry, indexed by xlat.id;
+	// xlatFree chains the inactive ones.
+	xlats    []*xlat
+	xlatFree *xlat
+	// migs is the migration registry, indexed by migration ID; migFree holds
+	// recyclable IDs (plan slices keep their capacity across reuse).
+	migs    []*migEntry
+	migFree []uint64
+	migBuf  []chunkMask // commitMigration per-chunk grouping scratch
 
 	footprintPages int
 	aborted        bool
@@ -342,58 +402,77 @@ func (m *Manager) MemoryFull() bool { return m.memoryFull }
 // ResidentPages returns the current number of resident or reserved pages.
 func (m *Manager) ResidentPages() int { return m.usedPages }
 
+// newXlat builds a translation context with the next registry ID and its
+// once-allocated stage callbacks.
+func (m *Manager) newXlat() *xlat {
+	x := &xlat{m: m, id: uint64(len(m.xlats))}
+	x.l1Stage = func() {
+		if x.m.l1tlbs[x.sm].Lookup(x.page) {
+			x.m.stats.L1THits++
+			x.m.finish(x, PathL1Hit)
+			return
+		}
+		// The shared L2 TLB has a bounded number of ports: an access
+		// holds one for the lookup latency; excess lookups queue.
+		x.m.l2ports.AcquireTagged(engine.Tag{Kind: TagXlatL2Grant, A: x.id}, x.l2Grant)
+	}
+	x.l2Grant = func() {
+		x.m.eng.ScheduleTagged(x.m.cfg.L2TLBLatency, engine.Tag{Kind: TagXlatL2Stage, A: x.id}, x.l2Stage)
+	}
+	x.l2Stage = func() {
+		x.m.l2ports.Release()
+		if x.m.l2tlb.Lookup(x.page) {
+			x.m.stats.L2THits++
+			x.m.insertL1(x.sm, x.page)
+			x.m.finish(x, PathL2Hit)
+			return
+		}
+		x.m.stats.Walks++
+		x.m.walker.WalkT(x.page, engine.Tag{Kind: TagXlatWalkDone, A: x.id}, x.walkDone)
+	}
+	x.walkDone = func(r ptw.Result) {
+		if r.Mapped {
+			x.m.l2tlb.Insert(x.page)
+			x.m.insertL1(x.sm, x.page)
+			x.m.finish(x, PathWalk)
+			return
+		}
+		x.m.handleFault(x.page, engine.Tag{Kind: TagXlatFault, A: x.id}, x.faultDone)
+	}
+	x.faultDone = func() {
+		x.m.l2tlb.Insert(x.page)
+		x.m.insertL1(x.sm, x.page)
+		x.m.finish(x, PathFault)
+	}
+	m.xlats = append(m.xlats, x)
+	return x
+}
+
 // getXlat pops (or builds) a translation context.
 func (m *Manager) getXlat() *xlat {
 	x := m.xlatFree
 	if x == nil {
-		x = &xlat{m: m}
-		x.l1Stage = func() {
-			if x.m.l1tlbs[x.sm].Lookup(x.page) {
-				x.m.stats.L1THits++
-				x.m.finish(x, PathL1Hit)
-				return
-			}
-			// The shared L2 TLB has a bounded number of ports: an access
-			// holds one for the lookup latency; excess lookups queue.
-			x.m.l2ports.Acquire(x.l2Grant)
-		}
-		x.l2Grant = func() { engine.After(x.m.eng, x.m.cfg.L2TLBLatency, x.l2Stage) }
-		x.l2Stage = func() {
-			x.m.l2ports.Release()
-			if x.m.l2tlb.Lookup(x.page) {
-				x.m.stats.L2THits++
-				x.m.insertL1(x.sm, x.page)
-				x.m.finish(x, PathL2Hit)
-				return
-			}
-			x.m.stats.Walks++
-			x.m.walker.Walk(x.page, x.walkDone)
-		}
-		x.walkDone = func(r ptw.Result) {
-			if r.Mapped {
-				x.m.l2tlb.Insert(x.page)
-				x.m.insertL1(x.sm, x.page)
-				x.m.finish(x, PathWalk)
-				return
-			}
-			x.m.handleFault(x.page, x.faultDone)
-		}
-		x.faultDone = func() {
-			x.m.l2tlb.Insert(x.page)
-			x.m.insertL1(x.sm, x.page)
-			x.m.finish(x, PathFault)
-		}
-		return x
+		x = m.newXlat()
+	} else {
+		m.xlatFree = x.next
+		x.next = nil
 	}
-	m.xlatFree = x.next
-	x.next = nil
+	x.active = true
 	return x
 }
 
 // Translate resolves the virtual address of acc for SM sm and invokes done
 // when a valid translation exists (after fault handling if necessary). The
-// GPU-side touch bookkeeping happens at completion.
+// GPU-side touch bookkeeping happens at completion. Legacy untagged entry
+// point (tests/tooling): an in-flight untagged translation makes the machine
+// unserializable.
 func (m *Manager) Translate(sm memdef.SMID, acc memdef.Access, done func()) {
+	m.TranslateT(sm, acc, engine.Tag{}, done)
+}
+
+// TranslateT is Translate with a snapshot tag describing done, so the
+// translation's pending completion can be re-linked on restore.
+func (m *Manager) TranslateT(sm memdef.SMID, acc memdef.Access, doneTag engine.Tag, done func()) {
 	m.stats.Accesses++
 	x := m.getXlat()
 	x.sm = sm
@@ -401,7 +480,8 @@ func (m *Manager) Translate(sm memdef.SMID, acc memdef.Access, done func()) {
 	x.write = acc.Kind == memdef.Write
 	x.start = m.eng.Now()
 	x.done = done
-	engine.After(m.eng, m.cfg.L1TLBLatency, x.l1Stage)
+	x.doneTag = doneTag
+	m.eng.ScheduleTagged(m.cfg.L1TLBLatency, engine.Tag{Kind: TagXlatL1, A: x.id}, x.l1Stage)
 }
 
 // finish completes a translation: path accounting, touch/dirty bookkeeping,
@@ -415,6 +495,8 @@ func (m *Manager) finish(x *xlat, path PathKind) {
 	}
 	done := x.done
 	x.done = nil
+	x.doneTag = engine.Tag{}
+	x.active = false
 	x.next = m.xlatFree
 	m.xlatFree = x
 	done()
@@ -457,24 +539,26 @@ func (m *Manager) isResidentOrInflight(p memdef.PageNum) bool {
 }
 
 // handleFault services a far fault on page, invoking resume once the page is
-// resident and mapped. Faults on pages already being migrated (or already
-// claimed by a queued fault) merge; distinct faults queue for one of the
-// driver's bounded fault-processing slots.
-func (m *Manager) handleFault(page memdef.PageNum, resume func()) {
+// resident and mapped (resumeTag is resume's snapshot tag). Faults on pages
+// already being migrated (or already claimed by a queued fault) merge;
+// distinct faults queue for one of the driver's bounded fault-processing
+// slots.
+func (m *Manager) handleFault(page memdef.PageNum, resumeTag engine.Tag, resume func()) {
 	st := m.chunkState(page.Chunk())
 	idx := page.Index()
 	if st.resident.Has(idx) || st.inflight.Has(idx) || st.pendingFault.Has(idx) {
 		// Another fault is already responsible for this page: merge.
 		m.stats.MergedFaults++
-		st.addWaiter(idx, resume)
+		st.addWaiter(idx, resumeTag, resume)
 		return
 	}
 	m.stats.FaultEvents++
 	st.pendingFault = st.pendingFault.Set(idx)
 	m.pendingFaults++
-	st.addWaiter(idx, resume)
+	st.addWaiter(idx, resumeTag, resume)
 	m.policy.OnFault(page.Chunk())
-	m.migSlots.Acquire(func() { m.processFault(page) })
+	m.migSlots.AcquireTagged(engine.Tag{Kind: TagProcessFault, A: uint64(page)},
+		func() { m.processFault(page) })
 }
 
 // processFault services one claimed fault, retrying transient (injected)
@@ -511,7 +595,9 @@ func (m *Manager) serviceFault(page memdef.PageNum, attempt int) {
 			return
 		}
 		m.stats.FaultRetries++
-		engine.After(m.eng, m.retryBackoff(attempt), func() { m.serviceFault(page, attempt+1) })
+		m.eng.ScheduleTagged(m.retryBackoff(attempt),
+			engine.Tag{Kind: TagFaultRetry, A: uint64(page), B: uint64(attempt + 1)},
+			func() { m.serviceFault(page, attempt+1) })
 		return
 	}
 	st := m.chunkState(page.Chunk())
@@ -587,14 +673,46 @@ func (m *Manager) serviceFault(page memdef.PageNum, attempt int) {
 
 	// Far-fault timing: fixed service latency (independent fault-handling
 	// threads overlap), then the migration transfer serializes on the link.
-	bytes := len(plan) * memdef.PageBytes
-	engine.After(m.eng, m.cfg.FaultServiceCycles(), func() {
-		m.link.Transfer(xbus.HostToDevice, bytes, func() {
-			m.deliverCommit(func() {
-				m.commitMigration(plan)
-				m.migSlots.Release()
-			})
-		})
+	// The plan lives in the migration registry so both pending events carry
+	// only the serializable migration ID.
+	id := m.allocMig(plan)
+	m.eng.ScheduleTagged(m.cfg.FaultServiceCycles(), engine.Tag{Kind: TagMigSvc, A: id},
+		func() { m.migTransfer(id) })
+}
+
+// allocMig registers plan as an in-flight migration and returns its ID.
+func (m *Manager) allocMig(plan []memdef.PageNum) uint64 {
+	var id uint64
+	if n := len(m.migFree); n > 0 {
+		id = m.migFree[n-1]
+		m.migFree = m.migFree[:n-1]
+	} else {
+		id = uint64(len(m.migs))
+		m.migs = append(m.migs, &migEntry{})
+	}
+	mg := m.migs[id]
+	mg.plan = append(mg.plan[:0], plan...)
+	mg.active = true
+	return id
+}
+
+// migTransfer starts migration id's H2D transfer after the fault-service
+// latency has elapsed.
+func (m *Manager) migTransfer(id uint64) {
+	bytes := len(m.migs[id].plan) * memdef.PageBytes
+	m.link.TransferT(xbus.HostToDevice, bytes, engine.Tag{Kind: TagMigXfer, A: id},
+		func() { m.migArrived(id) })
+}
+
+// migArrived commits migration id once its transfer completes (possibly
+// perturbed by the injector) and retires the registry entry.
+func (m *Manager) migArrived(id uint64) {
+	m.deliverCommit(func() {
+		mg := m.migs[id]
+		m.commitMigration(mg.plan)
+		mg.active = false
+		m.migFree = append(m.migFree, id)
+		m.migSlots.Release()
 	})
 }
 
@@ -658,10 +776,10 @@ func (m *Manager) wake(page memdef.PageNum) {
 	}
 	for _, w := range ws {
 		// Zero-delay event keeps wake-up ordering deterministic.
-		m.eng.Schedule(0, w)
+		m.eng.ScheduleTagged(0, w.tag, w.fn)
 	}
 	for j := range ws {
-		ws[j] = nil
+		ws[j] = tagged{}
 	}
 	st.waiters[idx] = ws[:0]
 }

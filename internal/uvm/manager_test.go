@@ -18,8 +18,8 @@ type flatMem struct {
 	eng *engine.Engine
 }
 
-func (f *flatMem) Access(a memdef.VirtAddr, k memdef.AccessKind, done func()) {
-	f.eng.Schedule(200, done)
+func (f *flatMem) Access(a memdef.VirtAddr, k memdef.AccessKind, tag engine.Tag, done func()) {
+	f.eng.ScheduleTagged(200, tag, done)
 }
 
 type rig struct {

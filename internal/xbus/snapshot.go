@@ -1,0 +1,47 @@
+package xbus
+
+import (
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/snapshot"
+)
+
+// Encode writes the link state: per-direction resource horizons, traffic
+// counters, and (when audit tracking is enabled) the outstanding-transfer
+// records the integrity checker consults.
+func (l *Link) Encode(w *snapshot.Writer) {
+	w.Mark("XBUS")
+	for d := HostToDevice; d <= DeviceToHost; d++ {
+		l.dir[d].Encode(w)
+		w.PutU64(l.bytesMoved[d])
+		w.PutU64(l.transfers[d])
+		w.PutU64(uint64(len(l.outstanding[d])))
+		for _, rec := range l.outstanding[d] {
+			w.PutU64(uint64(rec.bytes))
+			w.PutU64(uint64(rec.dur))
+			w.PutU64(uint64(rec.finish))
+		}
+	}
+}
+
+// Decode restores the state written by Encode. The track flag itself is
+// construction-time wiring (audit on/off) and is not serialized.
+func (l *Link) Decode(r *snapshot.Reader) {
+	r.ExpectMark("XBUS")
+	for d := HostToDevice; d <= DeviceToHost; d++ {
+		l.dir[d].Decode(r)
+		l.bytesMoved[d] = r.GetU64()
+		l.transfers[d] = r.GetU64()
+		n := r.GetCount(24)
+		if r.Err() != nil {
+			return
+		}
+		l.outstanding[d] = l.outstanding[d][:0]
+		for i := 0; i < n; i++ {
+			l.outstanding[d] = append(l.outstanding[d], transferRec{
+				bytes:  r.GetInt(),
+				dur:    memdef.Cycle(r.GetU64()),
+				finish: memdef.Cycle(r.GetU64()),
+			})
+		}
+	}
+}

@@ -68,6 +68,14 @@ func New(eng *engine.Engine, cfg memdef.Config) *Link {
 // the link frees up), and invokes done at completion. It returns the
 // completion cycle. Zero-byte transfers complete immediately.
 func (l *Link) Transfer(d Direction, n int, done func()) memdef.Cycle {
+	return l.TransferT(d, n, engine.Tag{}, done)
+}
+
+// TransferT is Transfer with a snapshot tag describing done, so the
+// completion event stays serializable across a checkpoint (see
+// engine.ScheduleTagged). Transfers without a completion callback schedule
+// nothing and need no tag.
+func (l *Link) TransferT(d Direction, n int, tag engine.Tag, done func()) memdef.Cycle {
 	dur := l.cfg.TransferCycles(n, l.cfg.PCIeGBs)
 	finish := l.dir[d].Acquire(dur)
 	l.bytesMoved[d] += uint64(n)
@@ -76,7 +84,7 @@ func (l *Link) Transfer(d Direction, n int, done func()) memdef.Cycle {
 		l.recordOutstanding(d, n, dur, finish)
 	}
 	if done != nil {
-		l.eng.ScheduleAt(finish, done)
+		l.eng.ScheduleAtTagged(finish, tag, done)
 	}
 	return finish
 }
