@@ -39,24 +39,49 @@ type benchResult struct {
 	Iterations  int     `json:"iterations"`
 }
 
-// expResult is one experiment's wall time in the -json report.
+// expResult is one experiment's wall time in the -json report. The per-run
+// fields amortize the experiment's cost over the simulations it actually
+// executed (cached-run deltas): an experiment that reuses cached results
+// reports zero new runs and omits them.
 type expResult struct {
-	ID         string  `json:"id"`
-	WallMs     float64 `json:"wall_ms"`
-	CachedRuns int     `json:"cached_runs_after"`
+	ID           string  `json:"id"`
+	WallMs       float64 `json:"wall_ms"`
+	CachedRuns   int     `json:"cached_runs_after"`
+	NewRuns      int     `json:"new_runs"`
+	WallMsPerRun float64 `json:"wall_ms_per_run,omitempty"`
+	AllocsPerRun uint64  `json:"allocs_per_run,omitempty"`
+	BytesPerRun  uint64  `json:"bytes_per_run,omitempty"`
+}
+
+// sweepReport is the session's committed sweep-progress totals (see
+// stats.SweepTotals): what the lockstep workers folded into the shared
+// aggregate, plus how many shard commits it took.
+type sweepReport struct {
+	Runs          uint64 `json:"runs"`
+	Cycles        uint64 `json:"cycles"`
+	Accesses      uint64 `json:"accesses"`
+	Faults        uint64 `json:"faults"`
+	MigratedPages uint64 `json:"migrated_pages"`
+	EvictedPages  uint64 `json:"evicted_pages"`
+	Commits       uint64 `json:"commits"`
 }
 
 // jsonReport is the machine-readable output of -json: environment metadata,
-// the engine microbenchmarks, and per-experiment wall times.
+// the engine microbenchmarks, per-experiment wall times with amortized
+// per-run cost, and the sweep-progress totals. Parallelism is the harness
+// value actually used for the runs (after defaulting), not the flag.
 type jsonReport struct {
 	GoVersion   string                 `json:"go_version"`
 	GOOS        string                 `json:"goos"`
 	GOARCH      string                 `json:"goarch"`
 	NumCPU      int                    `json:"num_cpu"`
+	GOMAXPROCS  int                    `json:"gomaxprocs"`
+	Parallelism int                    `json:"parallelism"`
 	Scale       float64                `json:"scale"`
 	Warps       int                    `json:"warps"`
 	Engine      map[string]benchResult `json:"engine"`
 	Experiments []expResult            `json:"experiments"`
+	Sweep       sweepReport            `json:"sweep"`
 }
 
 func toBenchResult(r testing.BenchmarkResult) benchResult {
@@ -221,6 +246,9 @@ func main() {
 	}
 	var expTimes []expResult
 	for _, id := range ids {
+		runsBefore := s.CachedRuns()
+		var memBefore runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
 		t0 := time.Now()
 		var out string
 		var err error
@@ -245,11 +273,22 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		expTimes = append(expTimes, expResult{
+		wallMs := float64(time.Since(t0).Microseconds()) / 1000
+		er := expResult{
 			ID:         id,
-			WallMs:     float64(time.Since(t0).Microseconds()) / 1000,
+			WallMs:     wallMs,
 			CachedRuns: s.CachedRuns(),
-		})
+			NewRuns:    s.CachedRuns() - runsBefore,
+		}
+		if er.NewRuns > 0 {
+			var memAfter runtime.MemStats
+			runtime.ReadMemStats(&memAfter)
+			n := uint64(er.NewRuns)
+			er.WallMsPerRun = wallMs / float64(er.NewRuns)
+			er.AllocsPerRun = (memAfter.Mallocs - memBefore.Mallocs) / n
+			er.BytesPerRun = (memAfter.TotalAlloc - memBefore.TotalAlloc) / n
+		}
+		expTimes = append(expTimes, er)
 		if *verbose {
 			fmt.Printf("[%s: %v, %d cached simulations]\n\n", id, time.Since(t0).Round(time.Millisecond), s.CachedRuns())
 		}
@@ -282,15 +321,27 @@ func main() {
 		if effWarps == 0 {
 			effWarps = 64
 		}
+		st := s.Harness().SweepStats()
 		rep := jsonReport{
 			GoVersion:   runtime.Version(),
 			GOOS:        runtime.GOOS,
 			GOARCH:      runtime.GOARCH,
 			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Parallelism: s.Harness().Config().Parallelism,
 			Scale:       effScale,
 			Warps:       effWarps,
 			Engine:      engineBenches(),
 			Experiments: expTimes,
+			Sweep: sweepReport{
+				Runs:          st.Runs,
+				Cycles:        st.Cycles,
+				Accesses:      st.Accesses,
+				Faults:        st.Faults,
+				MigratedPages: st.MigratedPages,
+				EvictedPages:  st.EvictedPages,
+				Commits:       st.Commits,
+			},
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {

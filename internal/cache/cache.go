@@ -13,22 +13,44 @@ import (
 	"github.com/reproductions/cppe/internal/memdef"
 )
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64
-}
+// Line flag bits.
+const (
+	lineValid = 1 << iota
+	lineDirty
+)
 
 // Cache is a set-associative, LRU, write-back tag store.
+//
+// The store is laid out struct-of-arrays: the tag-match scan — the hottest
+// loop in the simulator — walks a dense []uint64 of tags instead of striding
+// over 24-byte line records, touching 3x fewer cache lines per set probe.
+// tags, flags, and lru are parallel arrays indexed by line number. (An
+// O(1) hash-index variant was measured slower here: with 6-16 ways a set
+// scan stays within one or two hot cache lines, which beats a cold random
+// probe into an index sized for the whole store.)
 type Cache struct {
 	name   string
 	sets   int
 	ways   int
 	lineSz int
 	shift  uint
-	lines  []line
-	tick   uint64
+	// Power-of-two set counts (the common Table-I geometries) resolve the
+	// set/tag split with mask and shift instead of hardware division; setMask
+	// is zero otherwise and indexOf falls back to the general form. Both
+	// forms produce identical (set, tag) pairs.
+	setMask  uint64
+	setShift uint
+	tags     []uint64
+	flags    []uint8
+	lru      []uint64
+	// hint[set] is the way of that set's most recent hit or fill. Accesses
+	// check it before scanning: temporal locality makes repeat hits on the
+	// same line common, and a correct hint resolves them with one compare.
+	// The hint is purely an accelerator — a stale hint only fails the
+	// one-compare check and falls through to the scan, so it is not
+	// checkpointed and never affects results.
+	hint []uint16
+	tick uint64
 
 	hits       uint64
 	misses     uint64
@@ -52,18 +74,31 @@ func New(name string, capacityBytes, ways, lineSize int) *Cache {
 	if 1<<shift != lineSize {
 		panic(fmt.Sprintf("cache %s: line size %d not a power of two", name, lineSize))
 	}
-	return &Cache{
+	c := &Cache{
 		name:   name,
 		sets:   linesTotal / ways,
 		ways:   ways,
 		lineSz: lineSize,
 		shift:  shift,
-		lines:  make([]line, linesTotal),
+		tags:   make([]uint64, linesTotal),
+		flags:  make([]uint8, linesTotal),
+		lru:    make([]uint64, linesTotal),
+		hint:   make([]uint16, linesTotal/ways),
 	}
+	if c.sets&(c.sets-1) == 0 {
+		c.setMask = uint64(c.sets - 1)
+		for 1<<c.setShift < c.sets {
+			c.setShift++
+		}
+	}
+	return c
 }
 
 func (c *Cache) indexOf(a memdef.VirtAddr) (set int, tag uint64) {
 	blk := uint64(a) >> c.shift
+	if c.setMask != 0 || c.sets == 1 {
+		return int(blk & c.setMask), blk >> c.setShift
+	}
 	return int(blk % uint64(c.sets)), blk / uint64(c.sets)
 }
 
@@ -81,41 +116,60 @@ func (c *Cache) Access(a memdef.VirtAddr, kind memdef.AccessKind) AccessResult {
 	set, tag := c.indexOf(a)
 	base := set * c.ways
 	c.tick++
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == tag {
-			l.lru = c.tick
+	// MRU fast path: a tag+valid match is the hit condition however the way
+	// is found, so a hinted hit needs no scan.
+	if h := base + int(c.hint[set]); c.tags[h] == tag && c.flags[h]&lineValid != 0 {
+		c.lru[h] = c.tick
+		if kind == memdef.Write {
+			c.flags[h] |= lineDirty
+		}
+		c.hits++
+		return AccessResult{Hit: true}
+	}
+	// Single fused scan: find the hit, or — for the miss path — the first
+	// invalid way, else the LRU victim, without walking the set twice. A
+	// stale tag of an invalidated line is disambiguated by the flags check.
+	victim := -1
+	var victimLRU uint64 = ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		f := c.flags[i]
+		if f&lineValid == 0 {
+			if victimLRU != 0 {
+				victim = i
+				victimLRU = 0
+			}
+			continue
+		}
+		if c.tags[i] == tag {
+			c.lru[i] = c.tick
 			if kind == memdef.Write {
-				l.dirty = true
+				c.flags[i] |= lineDirty
 			}
 			c.hits++
+			c.hint[set] = uint16(i - base)
 			return AccessResult{Hit: true}
+		}
+		if victimLRU != 0 && c.lru[i] < victimLRU {
+			victim = i
+			victimLRU = c.lru[i]
 		}
 	}
 	c.misses++
-	// Allocate: choose invalid way or LRU victim.
-	victim := base
-	var victimLRU uint64 = ^uint64(0)
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if !l.valid {
-			victim = base + i
-			victimLRU = 0
-			break
-		}
-		if l.lru < victimLRU {
-			victim = base + i
-			victimLRU = l.lru
-		}
-	}
-	wb := c.lines[victim].valid && c.lines[victim].dirty
-	if c.lines[victim].valid {
+	wb := c.flags[victim]&(lineValid|lineDirty) == lineValid|lineDirty
+	if c.flags[victim]&lineValid != 0 {
 		c.evictions++
 	}
 	if wb {
 		c.writebacks++
 	}
-	c.lines[victim] = line{tag: tag, valid: true, dirty: kind == memdef.Write, lru: c.tick}
+	c.tags[victim] = tag
+	c.lru[victim] = c.tick
+	if kind == memdef.Write {
+		c.flags[victim] = lineValid | lineDirty
+	} else {
+		c.flags[victim] = lineValid
+	}
+	c.hint[set] = uint16(victim - base)
 	return AccessResult{Hit: false, WritebackVictim: wb}
 }
 
@@ -123,9 +177,8 @@ func (c *Cache) Access(a memdef.VirtAddr, kind memdef.AccessKind) AccessResult {
 func (c *Cache) Probe(a memdef.VirtAddr) bool {
 	set, tag := c.indexOf(a)
 	base := set * c.ways
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == tag {
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag && c.flags[i]&lineValid != 0 {
 			return true
 		}
 	}
@@ -141,10 +194,9 @@ func (c *Cache) InvalidatePage(p memdef.PageNum) int {
 	for off := 0; off < memdef.PageBytes; off += c.lineSz {
 		set, tag := c.indexOf(first + memdef.VirtAddr(off))
 		base := set * c.ways
-		for i := 0; i < c.ways; i++ {
-			l := &c.lines[base+i]
-			if l.valid && l.tag == tag {
-				l.valid = false
+		for i := base; i < base+c.ways; i++ {
+			if c.tags[i] == tag && c.flags[i]&lineValid != 0 {
+				c.flags[i] &^= lineValid
 				dropped++
 			}
 		}

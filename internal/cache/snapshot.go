@@ -9,13 +9,12 @@ import (
 // configuration on restore; Decode rejects a line-count mismatch.
 func (c *Cache) Encode(w *snapshot.Writer) {
 	w.Mark("CACH")
-	w.PutU64(uint64(len(c.lines)))
-	for i := range c.lines {
-		l := &c.lines[i]
-		w.PutU64(l.tag)
-		w.PutBool(l.valid)
-		w.PutBool(l.dirty)
-		w.PutU64(l.lru)
+	w.PutU64(uint64(len(c.tags)))
+	for i := range c.tags {
+		w.PutU64(c.tags[i])
+		w.PutBool(c.flags[i]&lineValid != 0)
+		w.PutBool(c.flags[i]&lineDirty != 0)
+		w.PutU64(c.lru[i])
 	}
 	w.PutU64(c.tick)
 	w.PutU64(c.hits)
@@ -32,17 +31,21 @@ func (c *Cache) Decode(r *snapshot.Reader) {
 	if r.Err() != nil {
 		return
 	}
-	if n != len(c.lines) {
-		r.Failf("cache %s: %d lines in checkpoint, %d configured", c.name, n, len(c.lines))
+	if n != len(c.tags) {
+		r.Failf("cache %s: %d lines in checkpoint, %d configured", c.name, n, len(c.tags))
 		return
 	}
-	for i := range c.lines {
-		c.lines[i] = line{
-			tag:   r.GetU64(),
-			valid: r.GetBool(),
-			dirty: r.GetBool(),
-			lru:   r.GetU64(),
+	for i := range c.tags {
+		c.tags[i] = r.GetU64()
+		var f uint8
+		if r.GetBool() {
+			f |= lineValid
 		}
+		if r.GetBool() {
+			f |= lineDirty
+		}
+		c.flags[i] = f
+		c.lru[i] = r.GetU64()
 	}
 	c.tick = r.GetU64()
 	c.hits = r.GetU64()

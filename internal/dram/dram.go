@@ -34,10 +34,15 @@ type bank struct {
 	rowMisses uint64
 }
 
-// channel is one GDDR5 channel: banks plus a shared data bus.
+// channel is one GDDR5 channel: banks plus a shared data bus. Banks are
+// stored by value so route's bank lookup lands in one contiguous array
+// instead of chasing a per-bank pointer; bankMask is len(banks)-1 when the
+// bank count is a power of two (Table I's 16), letting route mask instead of
+// divide.
 type channel struct {
-	banks []*bank
-	bus   *engine.Resource
+	banks    []bank
+	bankMask uint64
+	bus      *engine.Resource
 }
 
 // DRAM is the multi-channel memory system.
@@ -62,10 +67,12 @@ func New(eng *engine.Engine, cfg memdef.Config) *DRAM {
 	d := &DRAM{eng: eng, cfg: cfg, rowShift: shift}
 	for i := 0; i < cfg.DRAMChannels; i++ {
 		ch := &channel{bus: engine.NewResource(eng, fmt.Sprintf("dram-ch%d-bus", i))}
-		for b := 0; b < cfg.DRAMBanksPerChannel; b++ {
-			ch.banks = append(ch.banks, &bank{
-				res: engine.NewResource(eng, fmt.Sprintf("dram-ch%d-bank%d", i, b)),
-			})
+		ch.banks = make([]bank, cfg.DRAMBanksPerChannel)
+		for b := range ch.banks {
+			ch.banks[b].res = engine.NewResource(eng, fmt.Sprintf("dram-ch%d-bank%d", i, b))
+		}
+		if n := uint64(len(ch.banks)); n&(n-1) == 0 {
+			ch.bankMask = n - 1
 		}
 		d.channels = append(d.channels, ch)
 	}
@@ -76,9 +83,18 @@ func New(eng *engine.Engine, cfg memdef.Config) *DRAM {
 // channels, then across banks within the channel.
 func (d *DRAM) route(a memdef.VirtAddr) (*channel, *bank, uint64) {
 	row := uint64(a) >> d.rowShift
-	ch := d.channels[row%uint64(len(d.channels))]
-	bk := ch.banks[(row/uint64(len(d.channels)))%uint64(len(ch.banks))]
-	return ch, bk, row
+	// One hardware division yields both the channel remainder and the bank
+	// quotient; the bank modulo is a mask for power-of-two bank counts.
+	nch := uint64(len(d.channels))
+	q := row / nch
+	ch := d.channels[row-q*nch]
+	var bi uint64
+	if ch.bankMask != 0 {
+		bi = q & ch.bankMask
+	} else {
+		bi = q % uint64(len(ch.banks))
+	}
+	return ch, &ch.banks[bi], row
 }
 
 // Access schedules a memory access of the given kind to address a, invoking
@@ -141,7 +157,8 @@ func (d *DRAM) Stats() Stats {
 	s := Stats{Reads: d.reads, Writes: d.writes}
 	for _, ch := range d.channels {
 		s.BusBusyCycles += ch.bus.BusyCycles()
-		for _, bk := range ch.banks {
+		for i := range ch.banks {
+			bk := &ch.banks[i]
 			s.RowHits += bk.rowHits
 			s.RowMisses += bk.rowMisses
 			s.BankBusyCycles += bk.res.BusyCycles()

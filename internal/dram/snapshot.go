@@ -14,7 +14,8 @@ func (d *DRAM) Encode(w *snapshot.Writer) {
 	for _, ch := range d.channels {
 		ch.bus.Encode(w)
 		w.PutU64(uint64(len(ch.banks)))
-		for _, bk := range ch.banks {
+		for i := range ch.banks {
+			bk := &ch.banks[i]
 			bk.res.Encode(w)
 			w.PutU64(bk.openRow)
 			w.PutBool(bk.hasRow)
@@ -44,7 +45,8 @@ func (d *DRAM) Decode(r *snapshot.Reader) {
 		if r.Err() != nil {
 			return
 		}
-		for _, bk := range ch.banks {
+		for i := range ch.banks {
+			bk := &ch.banks[i]
 			bk.res.Decode(r)
 			bk.openRow = r.GetU64()
 			bk.hasRow = r.GetBool()

@@ -336,12 +336,26 @@ func (e *Engine) popNext() *eventNode {
 	if e.ringCount == 0 {
 		return e.heapPop()
 	}
-	at, s := e.nextRing()
+	// Same-cycle cascade fast path: events at cycle now can only live in slot
+	// now&ringMask, so when that slot's head is still at now it is the
+	// earliest ring event and the bitmap scan is unnecessary. Cascades (many
+	// events firing at one cycle) dominate the simulator's event mix, making
+	// this the common case.
+	s := int(e.now & ringMask)
+	at := e.now
+	if b := &e.ring[s]; b.head == nil || b.head.at != e.now {
+		at, s = e.nextRing()
+	}
 	if len(e.overflow) > 0 && e.overflow[0].at <= at {
 		// An overflow event at the same cycle always precedes ring events of
 		// that cycle (strictly smaller seq; see the overflow invariant).
 		return e.heapPop()
 	}
+	return e.popRing(s)
+}
+
+// popRing removes and returns the head event of ring slot s.
+func (e *Engine) popRing(s int) *eventNode {
 	b := &e.ring[s]
 	n := b.head
 	b.head = n.next
@@ -353,6 +367,35 @@ func (e *Engine) popNext() *eventNode {
 	n.next = nil
 	e.pending--
 	return n
+}
+
+// popNextBounded is popNext limited to events at or before limit: it returns
+// nil — removing nothing — when the globally next event lies beyond the
+// boundary. One queue scan replaces Run's peek-then-pop pair on the paused
+// path; pop order is identical to popNext's.
+func (e *Engine) popNextBounded(limit memdef.Cycle) *eventNode {
+	if e.ringCount == 0 {
+		if len(e.overflow) == 0 || e.overflow[0].at > limit {
+			return nil
+		}
+		return e.heapPop()
+	}
+	// Same-cycle cascade fast path; see popNext.
+	s := int(e.now & ringMask)
+	at := e.now
+	if b := &e.ring[s]; b.head == nil || b.head.at != e.now {
+		at, s = e.nextRing()
+	}
+	if len(e.overflow) > 0 && e.overflow[0].at <= at {
+		if e.overflow[0].at > limit {
+			return nil
+		}
+		return e.heapPop()
+	}
+	if at > limit {
+		return nil
+	}
+	return e.popRing(s)
 }
 
 // ErrBudget is returned by Run when the event budget is exhausted, which in
@@ -381,24 +424,6 @@ func (e *Engine) PauseAt(cycle memdef.Cycle) {
 
 // ClearPause disarms the pause boundary.
 func (e *Engine) ClearPause() { e.pauseSet = false }
-
-// peekNext returns the cycle of the next pending event, if any.
-func (e *Engine) peekNext() (memdef.Cycle, bool) {
-	if e.pending == 0 {
-		return 0, false
-	}
-	var best memdef.Cycle
-	have := false
-	if e.ringCount > 0 {
-		at, _ := e.nextRing()
-		best, have = at, true
-	}
-	if len(e.overflow) > 0 && (!have || e.overflow[0].at < best) {
-		best = e.overflow[0].at
-		have = true
-	}
-	return best, have
-}
 
 // watchdogCheck is consulted once per fired event while the watchdog is
 // armed. It returns true when the no-progress condition is met.
@@ -442,12 +467,16 @@ func (e *Engine) Run(done func() bool) (memdef.Cycle, error) {
 		if e.budget != 0 && e.fired-start >= e.budget {
 			return e.now, ErrBudget
 		}
+		var n *eventNode
 		if e.pauseSet {
-			if at, ok := e.peekNext(); ok && at > e.pauseAt {
+			// Bounded pop: one queue scan decides both "past the boundary?"
+			// and "which event fires next".
+			if n = e.popNextBounded(e.pauseAt); n == nil {
 				return e.now, ErrPaused
 			}
+		} else {
+			n = e.popNext()
 		}
-		n := e.popNext()
 		if n.at < e.now {
 			//cppelint:panicfree time monotonicity invariant on the zero-alloc dispatch path; the harness converts the panic to Result.Err via ErrPanic
 			panic("engine: event time went backwards")

@@ -26,31 +26,10 @@ import (
 // configuration, or workload), so its machine state cannot be restored here.
 var ErrCheckpointMismatch = errors.New("harness: checkpoint does not match this session")
 
-// traceFingerprint hashes the generated warp traces (FNV-1a over addresses,
-// kinds, and warp boundaries) so a resume detects workload drift even when
-// every scalar session knob matches.
-func traceFingerprint(traces [][]memdef.Access) uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= v & 0xff
-			h *= prime64
-			v >>= 8
-		}
-	}
-	for _, tr := range traces {
-		mix(uint64(len(tr)))
-		for _, a := range tr {
-			mix(uint64(a.Addr))
-			mix(uint64(a.Kind))
-		}
-	}
-	return h
-}
+// The trace fingerprint in the envelope is workload.Fingerprint of the
+// session's memoized trace (computed once per workload at generation time and
+// reused here), so a resume detects workload drift even when every scalar
+// session knob matches.
 
 // writeCheckpoint atomically replaces path with the machine's current state.
 // The temporary file lives in the same directory so the rename is atomic on
@@ -190,7 +169,10 @@ func (s *Session) Resume(path string, every memdef.Cycle) (Result, error) {
 			ErrCheckpointMismatch, scale, warps, app, seed,
 			s.cfg.Scale, s.cfg.Warps, s.cfg.AccessesPerPage, s.cfg.Seed)
 	}
-	b, err := s.build(k)
+	// buildChecked compares the envelope's trace hash against the memoized
+	// workload's fingerprint before building, so a drifted workload is a
+	// structured ErrTraceDrift instead of a silently regenerated trace.
+	b, err := s.buildChecked(k, traceHash)
 	if err != nil {
 		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
 	}
@@ -201,7 +183,7 @@ func (s *Session) Resume(path string, every memdef.Cycle) (Result, error) {
 	if cfgJSON != string(wantJSON) {
 		return Result{}, fmt.Errorf("%w: system configuration differs for %v", ErrCheckpointMismatch, k)
 	}
-	if traceHash != b.traceHash || footprint != b.footprint {
+	if footprint != b.footprint {
 		return Result{}, fmt.Errorf("%w: workload differs for %v", ErrCheckpointMismatch, k)
 	}
 	if err := b.machine.Restore(blob); err != nil {

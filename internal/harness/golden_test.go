@@ -48,6 +48,17 @@ func TestGoldenFig3(t *testing.T) {
 	checkGolden(t, "fig3_scale005", goldenSession().Fig3().String())
 }
 
+// TestGoldenFig8 pins the headline Fig. 8 sweep byte-for-byte at the smoke
+// scale. Fig8 warms its keys through the shared-trace lockstep path, so this
+// golden doubles as the drift gate for the sweep execution layer; the CI
+// bench-sweep job diffs cppe-bench's output against the same file.
+func TestGoldenFig8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	checkGolden(t, "fig8_scale005", goldenSession().Fig8().String())
+}
+
 func TestGoldenTableIII(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy")

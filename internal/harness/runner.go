@@ -18,6 +18,7 @@ import (
 	"github.com/reproductions/cppe/internal/memdef"
 	"github.com/reproductions/cppe/internal/prefetch"
 	"github.com/reproductions/cppe/internal/sm"
+	"github.com/reproductions/cppe/internal/stats"
 	"github.com/reproductions/cppe/internal/trace"
 	"github.com/reproductions/cppe/internal/uvm"
 	"github.com/reproductions/cppe/internal/workload"
@@ -37,13 +38,22 @@ type Config struct {
 	Seed int64
 	// Parallelism bounds concurrent simulations (default GOMAXPROCS).
 	Parallelism int
-	// MaxEvents bounds one simulation's event count (default 500M).
+	// MaxEvents bounds one simulation's event count (default 500M). In a
+	// lockstep sweep the budget applies per epoch segment, exactly as it
+	// applies per checkpoint segment under RunCheckpointed.
 	MaxEvents uint64
 	// WatchdogWindow arms the engine's no-progress watchdog per run: a
 	// same-cycle livelock that freezes the frontier for this much wall-clock
 	// time fails the run with engine.ErrNoProgress instead of burning the
 	// whole event budget. Zero selects 30s; negative disables the watchdog.
 	WatchdogWindow time.Duration
+	// SweepEpoch is the lockstep batch length in simulated cycles for Warm
+	// sweeps: machines of one workload group all reach the same epoch
+	// boundary before any moves past it, and per-worker stats deltas commit
+	// at those boundaries. Zero selects 4M cycles; negative disables
+	// batching (each machine of a group runs to completion in turn, still
+	// sharing the memoized trace).
+	SweepEpoch memdef.Cycle
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WatchdogWindow == 0 {
 		c.WatchdogWindow = 30 * time.Second
+	}
+	if c.SweepEpoch == 0 {
+		c.SweepEpoch = 1 << 22
 	}
 	return c
 }
@@ -120,6 +133,13 @@ type Result struct {
 type Session struct {
 	cfg    Config
 	setups map[string]core.Setup
+	// traces memoizes each workload's generated trace: one generation (and
+	// one fingerprint computation) per (bench, scale, warps, accesses/page,
+	// seed) per session, fanned out zero-copy to every machine instance.
+	traces *workload.Cache
+	// sweepAgg accumulates sweep progress from the per-worker delta shards
+	// (see stats.SweepShard); it is only touched at epoch commits.
+	sweepAgg stats.SweepAgg
 
 	mu    sync.Mutex
 	cache map[Key]Result
@@ -130,6 +150,7 @@ func NewSession(cfg Config) *Session {
 	s := &Session{
 		cfg:    cfg.withDefaults(),
 		setups: make(map[string]core.Setup),
+		traces: workload.NewCache(),
 		cache:  make(map[Key]Result),
 	}
 	for _, su := range []core.Setup{
@@ -201,8 +222,51 @@ func (s *Session) Run(k Key) Result {
 	return r
 }
 
-// Warm runs all missing keys in parallel so later Run calls hit the cache.
+// Warm runs all missing keys so later Run calls hit the cache. Missing keys
+// are grouped by workload and each group runs as a shared-trace lockstep
+// sweep (see sweep.go): the trace is generated once, fanned out to every
+// machine of the group, and the machines advance in cycle-epoch batches. The
+// groups themselves fan out over the session's bounded worker pool; each
+// worker commits its group's results to the shared cache in a single lock
+// acquisition, and its stats deltas at epoch boundaries.
 func (s *Session) Warm(keys []Key) {
+	missing := s.missingKeys(keys)
+	if len(missing) == 0 {
+		return
+	}
+	// Group by benchmark in first-appearance order: one group = one shared
+	// trace = one lockstep driver.
+	var order []string
+	byBench := make(map[string][]Key)
+	for _, k := range missing {
+		if _, ok := byBench[k.Bench]; !ok {
+			order = append(order, k.Bench)
+		}
+		byBench[k.Bench] = append(byBench[k.Bench], k)
+	}
+	sem := make(chan struct{}, s.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for _, bench := range order {
+		group := byBench[bench]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results := s.runGroup(group)
+			s.mu.Lock()
+			for _, r := range results {
+				s.cache[r.Key] = r
+			}
+			s.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+}
+
+// missingKeys filters keys down to the deduplicated, uncached subset,
+// preserving first-appearance order.
+func (s *Session) missingKeys(keys []Key) []Key {
 	var missing []Key
 	s.mu.Lock()
 	seen := map[Key]bool{}
@@ -213,26 +277,12 @@ func (s *Session) Warm(keys []Key) {
 		}
 	}
 	s.mu.Unlock()
-	if len(missing) == 0 {
-		return
-	}
-	sem := make(chan struct{}, s.cfg.Parallelism)
-	var wg sync.WaitGroup
-	for _, k := range missing {
-		k := k
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			r := s.runOne(k)
-			s.mu.Lock()
-			s.cache[k] = r
-			s.mu.Unlock()
-		}()
-	}
-	wg.Wait()
+	return missing
 }
+
+// SweepStats returns the committed sweep-progress totals: what the lockstep
+// workers have folded into the shared aggregate at epoch and run boundaries.
+func (s *Session) SweepStats() stats.SweepTotals { return s.sweepAgg.Totals() }
 
 // CachedRuns returns the number of cached simulations.
 func (s *Session) CachedRuns() int {
@@ -253,9 +303,34 @@ type built struct {
 	traceHash uint64
 }
 
-// build constructs the simulation for one key: workload generation, policy and
-// prefetcher instantiation, and machine assembly.
-func (s *Session) build(k Key) (*built, error) {
+// ErrTraceDrift reports that the session's memoized trace carries a
+// fingerprint different from the one a checkpoint envelope pinned: the
+// workload generator (or the memoized entry) drifted, so the checkpointed
+// machine state cannot be restored over this trace. It is a kind of
+// ErrCheckpointMismatch (errors.Is matches both).
+var ErrTraceDrift = fmt.Errorf("%w: memoized trace fingerprint drift", ErrCheckpointMismatch)
+
+// generated returns the session's memoized trace for bench (generating it on
+// first use) — one generation and one fingerprint per workload per session,
+// shared zero-copy by every machine built for it.
+func (s *Session) generated(bench workload.Benchmark) *workload.Generated {
+	return s.traces.Get(bench, workload.Options{
+		Scale:           s.cfg.Scale,
+		Warps:           s.cfg.Warps,
+		AccessesPerPage: s.cfg.AccessesPerPage,
+		Seed:            s.cfg.Seed,
+	})
+}
+
+// build constructs the simulation for one key: memoized workload lookup,
+// policy and prefetcher instantiation, and machine assembly.
+func (s *Session) build(k Key) (*built, error) { return s.buildChecked(k, 0) }
+
+// buildChecked is build with an optional trace-identity pin: a non-zero
+// wantTraceHash (from a checkpoint envelope) must equal the memoized trace's
+// fingerprint, or the build fails with ErrTraceDrift instead of silently
+// assembling a machine over a trace the checkpoint was not taken against.
+func (s *Session) buildChecked(k Key, wantTraceHash uint64) (*built, error) {
 	bench, ok := workload.ByAbbr(k.Bench)
 	if !ok {
 		return nil, fmt.Errorf("%w: benchmark %q", ErrUnknownKey, k.Bench)
@@ -264,12 +339,11 @@ func (s *Session) build(k Key) (*built, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: setup %q", ErrUnknownKey, k.Setup)
 	}
-	generated := bench.Generate(workload.Options{
-		Scale:           s.cfg.Scale,
-		Warps:           s.cfg.Warps,
-		AccessesPerPage: s.cfg.AccessesPerPage,
-		Seed:            s.cfg.Seed,
-	})
+	generated := s.generated(bench)
+	if wantTraceHash != 0 && generated.Fingerprint != wantTraceHash {
+		return nil, fmt.Errorf("%w: trace %#x, checkpoint envelope %#x for %v",
+			ErrTraceDrift, generated.Fingerprint, wantTraceHash, k)
+	}
 	cfg := s.cfg.Base
 	cfg.MemoryPages = capacityFor(generated.FootprintPages, k.OversubPct)
 
@@ -290,7 +364,7 @@ func (s *Session) build(k Key) (*built, error) {
 		pf:        pf,
 		cfg:       cfg,
 		footprint: generated.FootprintPages,
-		traceHash: traceFingerprint(generated.Warps),
+		traceHash: generated.Fingerprint,
 	}, nil
 }
 

@@ -70,7 +70,7 @@ type Check struct {
 var simCore = []string{
 	"engine", "uvm", "sm", "tlb", "ptw", "pagetable", "cache", "dram",
 	"xbus", "evict", "prefetch", "harness", "audit", "inject", "workload",
-	"stats", "snapshot",
+	"stats", "snapshot", "sweep",
 }
 
 // Checks returns the full analyzer suite.

@@ -1,0 +1,107 @@
+package stats
+
+import "sync"
+
+// Delta-committed sharded sweep counters (the VSA "commit information, not
+// traffic" idiom): each sweep worker owns a SweepShard and feeds it with O(1)
+// local adds on its own cacheline — one add per lockstep epoch per machine,
+// never one per simulated event. The shared SweepAgg is touched only when a
+// shard commits its collapsed delta, which the lockstep driver does at
+// deterministic cycle-epoch boundaries and at run/group completion. Because
+// every counter is a sum, the aggregate totals are independent of worker
+// interleaving: the same sweep produces the same totals at GOMAXPROCS 1 or 8.
+
+// SweepDelta is one batch of sweep-progress counters. The zero value is the
+// empty delta.
+type SweepDelta struct {
+	// Runs counts completed simulations.
+	Runs uint64
+	// Cycles is simulated cycles advanced.
+	Cycles uint64
+	// Accesses is completed memory accesses.
+	Accesses uint64
+	// Faults is far-fault events serviced.
+	Faults uint64
+	// MigratedPages / EvictedPages is CPU->GPU / GPU->CPU page traffic.
+	MigratedPages uint64
+	EvictedPages  uint64
+}
+
+// Add accumulates x into d.
+func (d *SweepDelta) Add(x SweepDelta) {
+	d.Runs += x.Runs
+	d.Cycles += x.Cycles
+	d.Accesses += x.Accesses
+	d.Faults += x.Faults
+	d.MigratedPages += x.MigratedPages
+	d.EvictedPages += x.EvictedPages
+}
+
+// Sub returns d - prev, the delta between two cumulative readings.
+func (d SweepDelta) Sub(prev SweepDelta) SweepDelta {
+	return SweepDelta{
+		Runs:          d.Runs - prev.Runs,
+		Cycles:        d.Cycles - prev.Cycles,
+		Accesses:      d.Accesses - prev.Accesses,
+		Faults:        d.Faults - prev.Faults,
+		MigratedPages: d.MigratedPages - prev.MigratedPages,
+		EvictedPages:  d.EvictedPages - prev.EvictedPages,
+	}
+}
+
+// SweepAgg is the shared sweep-progress table. All access goes through
+// shards; Totals reads the committed state.
+type SweepAgg struct {
+	mu      sync.Mutex
+	total   SweepDelta
+	commits uint64
+}
+
+// SweepTotals is a snapshot of the committed aggregate.
+type SweepTotals struct {
+	SweepDelta
+	// Commits counts shard commits — the number of times the shared table
+	// was actually touched. The ratio Accesses/Commits is the traffic the
+	// delta scheme eliminates: per-event updates collapsed per commit.
+	Commits uint64
+}
+
+// Shard returns a new private accumulator committing into a.
+func (a *SweepAgg) Shard() *SweepShard { return &SweepShard{agg: a} }
+
+// Totals returns the committed aggregate. Pending (uncommitted) shard state
+// is not included.
+func (a *SweepAgg) Totals() SweepTotals {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return SweepTotals{SweepDelta: a.total, Commits: a.commits}
+}
+
+// SweepShard is one worker's private delta accumulator. Not safe for
+// concurrent use — each worker owns exactly one.
+type SweepShard struct {
+	agg     *SweepAgg
+	pending SweepDelta
+	dirty   bool
+}
+
+// Add accumulates x locally (no shared state touched).
+func (s *SweepShard) Add(x SweepDelta) {
+	s.pending.Add(x)
+	s.dirty = true
+}
+
+// Commit folds the pending delta into the shared aggregate under one lock
+// acquisition and resets the shard. A clean shard commits nothing.
+func (s *SweepShard) Commit() {
+	if !s.dirty {
+		return
+	}
+	p := s.pending
+	s.pending = SweepDelta{}
+	s.dirty = false
+	s.agg.mu.Lock()
+	s.agg.total.Add(p)
+	s.agg.commits++
+	s.agg.mu.Unlock()
+}

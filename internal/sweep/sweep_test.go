@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// fakeLane records the boundaries it is advanced to and finishes once its
+// simulated end cycle is covered.
+type fakeLane struct {
+	id    int
+	end   memdef.Cycle
+	calls []memdef.Cycle
+	log   *[]string
+}
+
+func (l *fakeLane) Advance(until memdef.Cycle) bool {
+	l.calls = append(l.calls, until)
+	if l.log != nil {
+		*l.log = append(*l.log, string(rune('A'+l.id)))
+	}
+	return until >= l.end
+}
+
+func TestDriverLockstepBoundaries(t *testing.T) {
+	short := &fakeLane{id: 0, end: 150}
+	long := &fakeLane{id: 1, end: 450}
+	d := Driver{Epoch: 100}
+	var boundaries []memdef.Cycle
+	d.OnEpoch = func(b memdef.Cycle) { boundaries = append(boundaries, b) }
+
+	epochs := d.Run([]Lane{short, long})
+	if epochs != 5 {
+		t.Errorf("epochs = %d, want 5", epochs)
+	}
+	// Both lanes see the identical boundary sequence up to their completion:
+	// no lane runs past a boundary before the other reaches it.
+	if want := []memdef.Cycle{100, 200}; !reflect.DeepEqual(short.calls, want) {
+		t.Errorf("short lane boundaries %v, want %v", short.calls, want)
+	}
+	if want := []memdef.Cycle{100, 200, 300, 400, 500}; !reflect.DeepEqual(long.calls, want) {
+		t.Errorf("long lane boundaries %v, want %v", long.calls, want)
+	}
+	// OnEpoch fires once per epoch, after all lanes reached the boundary.
+	if want := []memdef.Cycle{100, 200, 300, 400, 500}; !reflect.DeepEqual(boundaries, want) {
+		t.Errorf("OnEpoch boundaries %v, want %v", boundaries, want)
+	}
+}
+
+func TestDriverRegistrationOrderWithinEpoch(t *testing.T) {
+	var log []string
+	lanes := []Lane{
+		&fakeLane{id: 0, end: 250, log: &log},
+		&fakeLane{id: 1, end: 250, log: &log},
+		&fakeLane{id: 2, end: 250, log: &log},
+	}
+	d := Driver{Epoch: 100}
+	d.Run(lanes)
+	want := []string{"A", "B", "C", "A", "B", "C", "A", "B", "C"}
+	if !reflect.DeepEqual(log, want) {
+		t.Errorf("advance order %v, want %v", log, want)
+	}
+}
+
+func TestDriverDisabledBatching(t *testing.T) {
+	ln := &fakeLane{end: 1}
+	d := Driver{} // zero epoch: each lane runs to completion in one advance
+	if got := d.Run([]Lane{ln}); got != 1 {
+		t.Errorf("epochs = %d, want 1", got)
+	}
+	if len(ln.calls) != 1 || ln.calls[0] != maxCycle {
+		t.Errorf("calls = %v, want one run-to-completion advance", ln.calls)
+	}
+}
+
+func TestDriverDropsFinishedLanes(t *testing.T) {
+	short := &fakeLane{id: 0, end: 100}
+	long := &fakeLane{id: 1, end: 300}
+	d := Driver{Epoch: 100}
+	d.Run([]Lane{short, long})
+	if len(short.calls) != 1 {
+		t.Errorf("finished lane advanced again: %v", short.calls)
+	}
+	if len(long.calls) != 3 {
+		t.Errorf("surviving lane calls: %v", long.calls)
+	}
+}
+
+func TestDriverEmpty(t *testing.T) {
+	d := Driver{Epoch: 100}
+	called := false
+	d.OnEpoch = func(memdef.Cycle) { called = true }
+	if got := d.Run(nil); got != 0 {
+		t.Errorf("epochs = %d for empty lane set", got)
+	}
+	if called {
+		t.Error("OnEpoch fired with no lanes")
+	}
+}

@@ -1,6 +1,8 @@
 package tlb
 
 import (
+	"sort"
+
 	"github.com/reproductions/cppe/internal/memdef"
 	"github.com/reproductions/cppe/internal/snapshot"
 )
@@ -41,6 +43,32 @@ func (t *TLB) Decode(r *snapshot.Reader) {
 			page:  memdef.PageNum(r.GetU64()),
 			valid: r.GetBool(),
 			lru:   r.GetU64(),
+		}
+	}
+	// The page index and the fully-associative recency/free lists are derived
+	// state: rebuild both from the restored entries. Recency order is
+	// recovered from the lru stamps (unique, larger = more recent).
+	t.idxRebuild()
+	if t.sets == 1 {
+		t.head, t.tail, t.free = noSlot, noSlot, noSlot
+		order := make([]int32, 0, len(t.entries))
+		for i := range t.entries {
+			if t.entries[i].valid {
+				order = append(order, int32(i))
+			}
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return t.entries[order[a]].lru > t.entries[order[b]].lru
+		})
+		for i := len(order) - 1; i >= 0; i-- {
+			t.listPushHead(order[i])
+		}
+		for i := len(t.entries) - 1; i >= 0; i-- {
+			if !t.entries[i].valid {
+				t.prev[i] = noSlot
+				t.next[i] = t.free
+				t.free = int32(i)
+			}
 		}
 	}
 	t.tick = r.GetU64()

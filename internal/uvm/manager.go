@@ -969,17 +969,18 @@ func (m *Manager) evictChunk(victim memdef.ChunkID) bool {
 	}
 	// L1 shootdowns only visit SMs that ever inserted a page of this chunk;
 	// invalidation of an absent page is a no-op, so the over-approximate mask
-	// changes no statistics, only the probes spent.
+	// changes no statistics, only the probes spent. InvalidateChunk batches
+	// the whole chunk's shootdown into one scan per fully-associative L1.
 	if st.smMaskAll {
 		for _, l1 := range m.l1tlbs {
-			invalidateAll(l1, victim, resident)
+			l1.InvalidateChunk(victim, resident)
 		}
 	} else {
 		for mask := st.smMask; mask != 0; {
 			sm := bits.TrailingZeros64(mask)
 			mask &^= 1 << uint(sm)
 			if sm < len(m.l1tlbs) {
-				invalidateAll(m.l1tlbs[sm], victim, resident)
+				m.l1tlbs[sm].InvalidateChunk(victim, resident)
 			}
 		}
 	}
@@ -1011,15 +1012,6 @@ func (m *Manager) evictChunk(victim memdef.ChunkID) bool {
 		m.aborted = true
 	}
 	return true
-}
-
-// invalidateAll shoots down every page of mask in chunk c from t.
-func invalidateAll(t *tlb.TLB, c memdef.ChunkID, mask memdef.PageBitmap) {
-	for rem := mask; rem != 0; {
-		idx := bits.TrailingZeros16(uint16(rem))
-		rem &^= 1 << uint(idx)
-		t.Invalidate(c.Page(idx))
-	}
 }
 
 func (m *Manager) allocFrame() pagetable.FrameNum {
@@ -1262,6 +1254,26 @@ func (m *Manager) Corrupt(kind CorruptKind) (audit.Class, bool) {
 
 // Stats returns a snapshot of the manager's counters.
 func (m *Manager) Stats() Stats { return m.stats }
+
+// Progress is an O(1) reading of the hot sweep counters — the subset of Stats
+// the lockstep sweep driver folds into its per-worker delta accumulators at
+// epoch boundaries. Readings are cumulative; subtract two to get a delta.
+type Progress struct {
+	Accesses      uint64
+	FaultEvents   uint64
+	MigratedPages uint64
+	EvictedPages  uint64
+}
+
+// Progress returns the current cumulative sweep-progress counters.
+func (m *Manager) Progress() Progress {
+	return Progress{
+		Accesses:      m.stats.Accesses,
+		FaultEvents:   m.stats.FaultEvents,
+		MigratedPages: m.stats.MigratedPages,
+		EvictedPages:  m.stats.EvictedPages,
+	}
+}
 
 // TLBStats returns (aggregated L1, L2) TLB statistics.
 func (m *Manager) TLBStats() (l1 tlb.Stats, l2 tlb.Stats) {

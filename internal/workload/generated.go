@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"sync"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// Generated is one immutable generated trace plus its fingerprint. A sweep
+// fans a single Generated out to every machine instance of the same workload:
+// the warp slices are shared zero-copy, so the consumers' contract is strictly
+// read-only (package sm only ever reads trace entries). The fingerprint is
+// computed exactly once, at generation time, and reused everywhere the trace's
+// identity matters — most importantly the checkpoint envelope, which
+// previously re-hashed the full trace on every build.
+type Generated struct {
+	Trace
+	// Fingerprint is Fingerprint(Trace.Warps), computed at generation time.
+	Fingerprint uint64
+}
+
+// GenKey identifies one deterministic generation: the benchmark plus every
+// Options knob that shapes its trace. Two generations with equal keys produce
+// byte-identical traces, so a Generated may be shared across any simulations
+// whose keys match.
+type GenKey struct {
+	Abbr            string
+	Scale           float64
+	Warps           int
+	AccessesPerPage int
+	Seed            int64
+}
+
+// Cache memoizes generated traces by GenKey. Generation runs at most once per
+// key (concurrent requesters for the same key block on the first generation
+// instead of duplicating it); the returned *Generated is shared and must not
+// be mutated.
+type Cache struct {
+	mu sync.Mutex
+	m  map[GenKey]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	g    *Generated
+}
+
+// NewCache returns an empty trace cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[GenKey]*cacheEntry)}
+}
+
+// Key returns the memoization key for generating b under opt (with option
+// defaults applied, so equal effective generations share an entry).
+func (b Benchmark) Key(opt Options) GenKey {
+	opt = opt.withDefaults()
+	return GenKey{
+		Abbr:            b.Abbr,
+		Scale:           opt.Scale,
+		Warps:           opt.Warps,
+		AccessesPerPage: opt.AccessesPerPage,
+		Seed:            opt.Seed,
+	}
+}
+
+// Get returns the memoized generation of b under opt, generating (and
+// fingerprinting) it on first use.
+func (c *Cache) Get(b Benchmark, opt Options) *Generated {
+	k := b.Key(opt)
+	c.mu.Lock()
+	e, ok := c.m[k]
+	if !ok {
+		e = &cacheEntry{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		tr := b.Generate(opt)
+		e.g = &Generated{Trace: tr, Fingerprint: Fingerprint(tr.Warps)}
+	})
+	return e.g
+}
+
+// Len returns the number of memoized generations.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Poison replaces the memoized fingerprint for b under opt with fp, forcing
+// the entry to disagree with any honestly computed trace hash. Test hook for
+// the harness's trace-drift detection; the trace itself is left intact.
+func (c *Cache) Poison(b Benchmark, opt Options, fp uint64) {
+	g := c.Get(b, opt)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[b.Key(opt)].g = &Generated{Trace: g.Trace, Fingerprint: fp}
+}
+
+// Fingerprint hashes warp traces (FNV-1a over addresses, kinds, and warp
+// boundaries). It is the workload identity pinned by checkpoint envelopes: a
+// resume compares the envelope's hash against the memoized trace's
+// fingerprint to detect workload drift even when every scalar session knob
+// matches. The algorithm (and therefore every stored hash) is unchanged from
+// the harness's original per-build fingerprint.
+func Fingerprint(traces [][]memdef.Access) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, tr := range traces {
+		mix(uint64(len(tr)))
+		for _, a := range tr {
+			mix(uint64(a.Addr))
+			mix(uint64(a.Kind))
+		}
+	}
+	return h
+}

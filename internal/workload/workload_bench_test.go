@@ -17,3 +17,34 @@ func BenchmarkGenerate(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWorkloadGenerate measures one full generation plus fingerprint —
+// the work a sweep performs exactly once per workload — against the memoized
+// lookup every subsequent machine build pays instead. The allocs/op gap
+// between the two sub-benchmarks is the per-build saving of trace
+// memoization.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	bench, _ := ByAbbr("SRD")
+	opt := Options{Scale: 0.25, Warps: 64}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := NewCache()
+			if g := c.Get(bench, opt); g.Fingerprint == 0 {
+				b.Fatal("degenerate fingerprint")
+			}
+		}
+	})
+	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		c := NewCache()
+		first := c.Get(bench, opt)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if g := c.Get(bench, opt); g != first {
+				b.Fatal("memoized entry not shared")
+			}
+		}
+	})
+}
