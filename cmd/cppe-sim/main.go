@@ -17,7 +17,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +43,7 @@ func main() {
 		ckptFile  = flag.String("checkpoint-file", "", "checkpoint file path (default <bench>_<setup>_<rate>.ckpt)")
 		resume    = flag.String("resume", "", "resume from a checkpoint file (its benchmark/setup/rate override the flags)")
 		jsonOut   = flag.Bool("json", false, "print the result as JSON (run errors rendered as strings)")
+		timeout   = flag.Duration("timeout", 0, "no-progress watchdog: a run whose frontier cycle freezes for this long fails with a structured livelock error and exits 1 (0 = 30s default, negative = off)")
 	)
 	flag.Parse()
 
@@ -77,7 +77,7 @@ func main() {
 
 	opt := cppe.Options{
 		Scale: *scale, Warps: *warps, Seed: *seed,
-		Audit: *auditOn, ChaosSeed: *chaosSeed,
+		Audit: *auditOn, ChaosSeed: *chaosSeed, Timeout: *timeout,
 	}
 	var s *cppe.Session
 	if *system != "" {
@@ -138,22 +138,14 @@ func main() {
 	}
 
 	if *jsonOut {
-		// Err is an error interface value, which encoding/json renders as an
-		// opaque {}; shadow it with its message so results round-trip through
-		// scripts and diff byte-for-byte across runs.
-		out := struct {
-			cppe.Result
-			Err string `json:",omitempty"`
-		}{Result: r}
-		if r.Err != nil {
-			out.Err = r.Err.Error()
-		}
-		enc, jerr := json.MarshalIndent(out, "", "  ")
+		// cppe.ResultJSON is the one canonical rendering: cppe-serve stores
+		// and serves the same bytes, so CLI and service output stay diffable.
+		enc, jerr := cppe.ResultJSON(r)
 		if jerr != nil {
 			fmt.Fprintln(os.Stderr, "cppe-sim:", jerr)
 			os.Exit(1)
 		}
-		fmt.Println(string(enc))
+		os.Stdout.Write(enc)
 		os.Exit(exitCode)
 	}
 

@@ -29,6 +29,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/reproductions/cppe/internal/audit"
 	"github.com/reproductions/cppe/internal/harness"
@@ -111,6 +112,13 @@ type Options struct {
 	// transient far-fault failures retried by the driver). The same seed
 	// reproduces the same perturbation schedule exactly.
 	ChaosSeed int64
+	// Timeout arms the per-run no-progress watchdog: a run whose frontier
+	// cycle stays frozen for this much wall-clock time fails with a
+	// structured engine livelock error instead of hanging forever. Zero
+	// keeps the default (30s); negative disables the watchdog. The watchdog
+	// only reads the wall clock between events, so results are unchanged for
+	// runs that make progress.
+	Timeout time.Duration
 }
 
 // baseConfig derives the Table-I configuration with the Options' integrity
@@ -168,11 +176,12 @@ type Session struct {
 // NewSession creates a session with the paper's Table-I system configuration.
 func NewSession(opt Options) *Session {
 	return &Session{h: harness.NewSession(harness.Config{
-		Base:        baseConfig(opt),
-		Scale:       opt.Scale,
-		Warps:       opt.Warps,
-		Seed:        opt.Seed,
-		Parallelism: opt.Parallelism,
+		Base:           baseConfig(opt),
+		Scale:          opt.Scale,
+		Warps:          opt.Warps,
+		Seed:           opt.Seed,
+		Parallelism:    opt.Parallelism,
+		WatchdogWindow: opt.Timeout,
 	})}
 }
 
@@ -197,11 +206,12 @@ func NewSessionWithSystem(opt Options, systemJSON []byte) (*Session, error) {
 		return nil, err
 	}
 	return &Session{h: harness.NewSession(harness.Config{
-		Base:        cfg,
-		Scale:       opt.Scale,
-		Warps:       opt.Warps,
-		Seed:        opt.Seed,
-		Parallelism: opt.Parallelism,
+		Base:           cfg,
+		Scale:          opt.Scale,
+		Warps:          opt.Warps,
+		Seed:           opt.Seed,
+		Parallelism:    opt.Parallelism,
+		WatchdogWindow: opt.Timeout,
 	})}, nil
 }
 
@@ -239,14 +249,8 @@ func Experiments() []string {
 
 // Run executes (or fetches from cache) one simulation.
 func (s *Session) Run(req Request) (Result, error) {
-	if _, ok := workload.ByAbbr(req.Benchmark); !ok {
-		return Result{}, fmt.Errorf("cppe: unknown benchmark %q (see Benchmarks())", req.Benchmark)
-	}
-	if _, ok := s.h.Setup(req.Setup); !ok {
-		return Result{}, fmt.Errorf("cppe: unknown setup %q (see Setups())", req.Setup)
-	}
-	if req.Oversubscription < 0 || req.Oversubscription > 100 {
-		return Result{}, fmt.Errorf("cppe: oversubscription %d%% out of [0,100]", req.Oversubscription)
+	if err := s.validate(req); err != nil {
+		return Result{}, err
 	}
 	r := s.h.Run(harness.Key{Bench: req.Benchmark, Setup: req.Setup, OversubPct: req.Oversubscription})
 	return fromHarness(req, r), nil
@@ -259,14 +263,8 @@ func (s *Session) Run(req Request) (Result, error) {
 // run fails with a structured error instead of writing a snapshot that could
 // not reproduce the injected schedule.
 func (s *Session) RunCheckpointed(req Request, path string, everyCycles uint64) (Result, error) {
-	if _, ok := workload.ByAbbr(req.Benchmark); !ok {
-		return Result{}, fmt.Errorf("cppe: unknown benchmark %q (see Benchmarks())", req.Benchmark)
-	}
-	if _, ok := s.h.Setup(req.Setup); !ok {
-		return Result{}, fmt.Errorf("cppe: unknown setup %q (see Setups())", req.Setup)
-	}
-	if req.Oversubscription < 0 || req.Oversubscription > 100 {
-		return Result{}, fmt.Errorf("cppe: oversubscription %d%% out of [0,100]", req.Oversubscription)
+	if err := s.validate(req); err != nil {
+		return Result{}, err
 	}
 	k := harness.Key{Bench: req.Benchmark, Setup: req.Setup, OversubPct: req.Oversubscription}
 	return fromHarness(req, s.h.RunCheckpointed(k, path, memdef.Cycle(everyCycles))), nil

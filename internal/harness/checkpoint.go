@@ -114,11 +114,39 @@ func (s *Session) RunCheckpointed(k Key, path string, every memdef.Cycle) Result
 
 func (s *Session) runCheckpointedFresh(k Key, path string, every memdef.Cycle) (out Result) {
 	defer recoverRun(k, &out)
+	// A leftover file at path that is not a checkpoint of this exact
+	// simulation must not survive the run: if the fresh run finishes before
+	// its first pause boundary it would never overwrite the file, and a later
+	// `-resume` would silently continue a different simulation.
+	s.discardStaleCheckpoint(k, path)
 	b, err := s.build(k)
 	if err != nil {
 		return Result{Key: k, Crashed: true, Err: err}
 	}
 	return s.runCheckpointed(k, b, path, every)
+}
+
+// discardStaleCheckpoint removes a leftover file at path unless it is a
+// well-formed checkpoint of k taken under this session's parameters. Stale
+// checkpoints are removed, not just ignored: leaving one behind after a
+// fresh-run fallback hands a later resume a simulation it must not continue.
+// A half-written temporary from a killed writeCheckpoint is always removed.
+func (s *Session) discardStaleCheckpoint(k Key, path string) {
+	os.Remove(path + ".tmp")
+	env, err := readEnvelope(path)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		return
+	case err != nil:
+		// Unreadable, corrupt, or truncated: unusable by definition.
+		os.Remove(path)
+		return
+	}
+	if env.key != k ||
+		env.scale != s.cfg.Scale || env.warps != s.cfg.Warps ||
+		env.app != s.cfg.AccessesPerPage || env.seed != s.cfg.Seed {
+		os.Remove(path)
+	}
 }
 
 // recoverRun converts a panic into a crashed Result (shared with runOne's
@@ -129,6 +157,91 @@ func recoverRun(k Key, out *Result) {
 	}
 }
 
+// envelope is the parsed metadata of one checkpoint file, plus the machine
+// blob it frames. It pins everything a resuming session must reproduce.
+type envelope struct {
+	key       Key
+	scale     float64
+	warps     int
+	app       int
+	seed      int64
+	cfgJSON   string
+	traceHash uint64
+	footprint int
+	cycle     memdef.Cycle
+	blob      []byte
+}
+
+// readEnvelope reads and parses a checkpoint file without building anything.
+// Errors cover unreadable files (os.ErrNotExist passes through for callers
+// that treat a missing checkpoint as "start fresh") and corrupt or truncated
+// frames.
+func readEnvelope(path string) (*envelope, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("harness: resume: %w", err)
+	}
+	r, err := snapshot.Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	r.ExpectMark("CKPT")
+	env := &envelope{}
+	env.key = Key{Bench: r.GetString(), Setup: r.GetString(), OversubPct: r.GetInt()}
+	env.scale = r.GetF64()
+	env.warps = r.GetInt()
+	env.app = r.GetInt()
+	env.seed = r.GetI64()
+	env.cfgJSON = r.GetString()
+	env.traceHash = r.GetU64()
+	env.footprint = r.GetInt()
+	env.cycle = memdef.Cycle(r.GetU64())
+	env.blob = r.GetBytes()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	return env, nil
+}
+
+// restoreEnvelope validates env against this session, rebuilds the machine
+// from the session's own recipe, and restores the serialized state into it.
+// Mismatched sessions are structured ErrCheckpointMismatch.
+func (s *Session) restoreEnvelope(path string, env *envelope) (*built, error) {
+	if env.scale != s.cfg.Scale || env.warps != s.cfg.Warps || env.app != s.cfg.AccessesPerPage || env.seed != s.cfg.Seed {
+		return nil, fmt.Errorf(
+			"%w: checkpoint (scale=%v warps=%d accesses/page=%d seed=%d), session (scale=%v warps=%d accesses/page=%d seed=%d)",
+			ErrCheckpointMismatch, env.scale, env.warps, env.app, env.seed,
+			s.cfg.Scale, s.cfg.Warps, s.cfg.AccessesPerPage, s.cfg.Seed)
+	}
+	// buildChecked compares the envelope's trace hash against the memoized
+	// workload's fingerprint before building, so a drifted workload is a
+	// structured ErrTraceDrift instead of a silently regenerated trace.
+	b, err := s.buildChecked(env.key, env.traceHash)
+	if err != nil {
+		return nil, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	wantJSON, err := memdef.ConfigJSON(b.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	if env.cfgJSON != string(wantJSON) {
+		return nil, fmt.Errorf("%w: system configuration differs for %v", ErrCheckpointMismatch, env.key)
+	}
+	if env.footprint != b.footprint {
+		return nil, fmt.Errorf("%w: workload differs for %v", ErrCheckpointMismatch, env.key)
+	}
+	if err := b.machine.Restore(env.blob); err != nil {
+		return nil, fmt.Errorf("harness: resume %s: %w", path, err)
+	}
+	if got := b.machine.Eng.Now(); got != env.cycle {
+		return nil, fmt.Errorf("%w: restored clock %d, envelope says %d", snapshot.ErrCorrupt, got, env.cycle)
+	}
+	return b, nil
+}
+
 // Resume continues a simulation from a checkpoint file: it validates the
 // envelope against this session's configuration, rebuilds the machine from
 // scratch, restores the serialized state into it, and runs to completion
@@ -137,61 +250,15 @@ func recoverRun(k Key, out *Result) {
 // decides whether to fall back to a fresh run. The completed result is cached
 // under the checkpoint's key.
 func (s *Session) Resume(path string, every memdef.Cycle) (Result, error) {
-	data, err := os.ReadFile(path)
+	env, err := readEnvelope(path)
 	if err != nil {
-		return Result{}, fmt.Errorf("harness: resume: %w", err)
+		return Result{}, err
 	}
-	r, err := snapshot.Open(data)
+	b, err := s.restoreEnvelope(path, env)
 	if err != nil {
-		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
+		return Result{}, err
 	}
-	r.ExpectMark("CKPT")
-	k := Key{Bench: r.GetString(), Setup: r.GetString(), OversubPct: r.GetInt()}
-	scale := r.GetF64()
-	warps := r.GetInt()
-	app := r.GetInt()
-	seed := r.GetI64()
-	cfgJSON := r.GetString()
-	traceHash := r.GetU64()
-	footprint := r.GetInt()
-	cycle := memdef.Cycle(r.GetU64())
-	blob := r.GetBytes()
-	if err := r.Err(); err != nil {
-		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
-	}
-	if err := r.Close(); err != nil {
-		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
-	}
-
-	if scale != s.cfg.Scale || warps != s.cfg.Warps || app != s.cfg.AccessesPerPage || seed != s.cfg.Seed {
-		return Result{}, fmt.Errorf(
-			"%w: checkpoint (scale=%v warps=%d accesses/page=%d seed=%d), session (scale=%v warps=%d accesses/page=%d seed=%d)",
-			ErrCheckpointMismatch, scale, warps, app, seed,
-			s.cfg.Scale, s.cfg.Warps, s.cfg.AccessesPerPage, s.cfg.Seed)
-	}
-	// buildChecked compares the envelope's trace hash against the memoized
-	// workload's fingerprint before building, so a drifted workload is a
-	// structured ErrTraceDrift instead of a silently regenerated trace.
-	b, err := s.buildChecked(k, traceHash)
-	if err != nil {
-		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
-	}
-	wantJSON, err := memdef.ConfigJSON(b.cfg)
-	if err != nil {
-		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
-	}
-	if cfgJSON != string(wantJSON) {
-		return Result{}, fmt.Errorf("%w: system configuration differs for %v", ErrCheckpointMismatch, k)
-	}
-	if footprint != b.footprint {
-		return Result{}, fmt.Errorf("%w: workload differs for %v", ErrCheckpointMismatch, k)
-	}
-	if err := b.machine.Restore(blob); err != nil {
-		return Result{}, fmt.Errorf("harness: resume %s: %w", path, err)
-	}
-	if got := b.machine.Eng.Now(); got != cycle {
-		return Result{}, fmt.Errorf("%w: restored clock %d, envelope says %d", snapshot.ErrCorrupt, got, cycle)
-	}
+	k := env.key
 
 	out := func() (out Result) {
 		defer recoverRun(k, &out)
@@ -223,9 +290,11 @@ func CheckpointPath(dir string, k Key) string {
 // WarmCheckpointed is Warm with kill-resilience: each missing key checkpoints
 // into its own file under dir every `every` cycles, and a key whose valid
 // checkpoint already exists (from a previous, interrupted sweep) resumes from
-// it instead of starting over. Invalid, corrupt, or mismatched checkpoints are
-// discarded and the run starts fresh — a sweep never silently resumes from
-// state it cannot trust. Completed runs delete their checkpoint files.
+// it instead of starting over. Invalid, corrupt, or mismatched checkpoints
+// are removed and the run starts fresh — a sweep never silently resumes from
+// (or leaves behind) state it cannot trust. Completed runs delete their
+// checkpoint files; only runs that died with an error keep theirs, for the
+// next restart to continue.
 func (s *Session) WarmCheckpointed(keys []Key, dir string, every memdef.Cycle) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("harness: checkpoint dir: %w", err)
@@ -249,21 +318,10 @@ func (s *Session) WarmCheckpointed(keys []Key, dir string, every memdef.Cycle) e
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			path := CheckpointPath(dir, k)
-			r, err := s.Resume(path, every)
-			if err != nil {
-				if !errors.Is(err, os.ErrNotExist) {
-					// Unusable checkpoint: remove it so the fresh run's first
-					// checkpoint replaces it cleanly.
-					os.Remove(path)
-				}
-				r = s.RunCheckpointed(k, path, every)
-			}
-			if !r.Crashed || r.Err == nil {
-				// The run reached a terminal simulation outcome (including a
-				// modeled thrash abort); its checkpoint has served its purpose.
-				os.Remove(path)
-			}
+			// RunResumable owns the whole lifecycle: resume-or-fresh with
+			// stale-checkpoint removal, periodic checkpoints, and cleanup on
+			// terminal outcomes. With a nil stop hook it never parks.
+			s.RunResumable(k, CheckpointPath(dir, k), every, nil)
 		}()
 	}
 	wg.Wait()

@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+)
+
+// TestRunResumableMatchesRun pins the service-layer contract: a run that
+// parks at a checkpoint boundary and is continued by a later RunResumable
+// (fresh session, as after a process restart) finishes with a Result
+// bit-for-bit identical to an uninterrupted run, and cleans its checkpoint up.
+func TestRunResumableMatchesRun(t *testing.T) {
+	k := ckptKey()
+	want := NewSession(checkpointTestConfig()).Run(k)
+	if want.Err != nil {
+		t.Fatalf("reference run failed: %v", want.Err)
+	}
+
+	path := filepath.Join(t.TempDir(), "job.ckpt")
+	parks := 0
+	_, err := NewSession(checkpointTestConfig()).RunResumable(k, path, want.Cycles/7, func() bool {
+		parks++
+		return parks >= 2 // park at the second checkpoint boundary
+	})
+	if !errors.Is(err, ErrParked) {
+		t.Fatalf("err = %v, want ErrParked", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("parked run left no checkpoint: %v", err)
+	}
+
+	got, err := NewSession(checkpointTestConfig()).RunResumable(k, path, want.Cycles/7, nil)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("resumed result differs:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("completed run left its checkpoint behind (err=%v)", err)
+	}
+}
+
+// TestRunResumableRemovesStaleCheckpoint asserts the stale-cleanup contract:
+// a leftover .ckpt whose envelope does not match the requested simulation is
+// removed after the fresh-run fallback, not just ignored — even when the
+// fresh run completes without ever writing a checkpoint of its own.
+func TestRunResumableRemovesStaleCheckpoint(t *testing.T) {
+	k := ckptKey()
+	other := Key{Bench: "HSD", Setup: "cppe", OversubPct: 50}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.ckpt")
+
+	plant := func(t *testing.T) {
+		t.Helper()
+		s := NewSession(checkpointTestConfig())
+		b, err := s.build(other)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		if _, paused := b.machine.RunUntil(s.cfg.MaxEvents, 150_000); !paused {
+			t.Fatal("planted run finished before its checkpoint cycle")
+		}
+		if err := s.writeCheckpoint(path, other, b); err != nil {
+			t.Fatalf("planting checkpoint: %v", err)
+		}
+	}
+
+	t.Run("mismatched-key", func(t *testing.T) {
+		plant(t)
+		// A huge `every` means the fresh run never writes a checkpoint, so
+		// only the explicit stale cleanup can remove the leftover.
+		r, err := NewSession(checkpointTestConfig()).RunResumable(k, path, 1<<40, nil)
+		if err != nil || r.Err != nil {
+			t.Fatalf("fresh-run fallback failed: %v / %v", err, r.Err)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("mismatched leftover survived the fallback (err=%v)", err)
+		}
+	})
+
+	t.Run("mismatched-session", func(t *testing.T) {
+		plant(t)
+		cfg := checkpointTestConfig()
+		cfg.Seed = 77
+		r, err := NewSession(cfg).RunResumable(other, path, 1<<40, nil)
+		if err != nil || r.Err != nil {
+			t.Fatalf("fresh-run fallback failed: %v / %v", err, r.Err)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("mismatched-session leftover survived the fallback (err=%v)", err)
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path+".tmp", []byte("torn write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewSession(checkpointTestConfig()).RunResumable(k, path, 1<<40, nil)
+		if err != nil || r.Err != nil {
+			t.Fatalf("fresh-run fallback failed: %v / %v", err, r.Err)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("corrupt leftover survived the fallback (err=%v)", err)
+		}
+		if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("torn temporary survived the fallback (err=%v)", err)
+		}
+	})
+}
+
+// TestRunCheckpointedRemovesStaleCheckpoint covers the same contract on the
+// RunCheckpointed path: a quick run that finishes before its first pause
+// boundary must still remove a mismatched leftover at its checkpoint path.
+func TestRunCheckpointedRemovesStaleCheckpoint(t *testing.T) {
+	k := ckptKey()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.ckpt")
+	if err := os.WriteFile(path, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if r := NewSession(checkpointTestConfig()).RunCheckpointed(k, path, 1<<40); r.Err != nil {
+		t.Fatalf("run failed: %v", r.Err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("stale leftover survived RunCheckpointed (err=%v)", err)
+	}
+}
+
+// TestEnvelopeIDStability pins the content-address semantics: equal sessions
+// agree on the ID, every identity-bearing knob changes it, and unknown keys
+// are structured errors.
+func TestEnvelopeIDStability(t *testing.T) {
+	k := ckptKey()
+	a, err := NewSession(checkpointTestConfig()).EnvelopeID(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSession(checkpointTestConfig()).EnvelopeID(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("equal sessions disagree: %#x vs %#x", a, b)
+	}
+
+	distinct := map[uint64]string{a: "base"}
+	add := func(name string, id uint64, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if prev, dup := distinct[id]; dup {
+			t.Errorf("%s collides with %s: %#x", name, prev, id)
+		}
+		distinct[id] = name
+	}
+
+	id, err := NewSession(checkpointTestConfig()).EnvelopeID(Key{Bench: "HSD", Setup: "cppe", OversubPct: 50})
+	add("bench", id, err)
+	id, err = NewSession(checkpointTestConfig()).EnvelopeID(Key{Bench: "SRD", Setup: "baseline", OversubPct: 50})
+	add("setup", id, err)
+	id, err = NewSession(checkpointTestConfig()).EnvelopeID(Key{Bench: "SRD", Setup: "cppe", OversubPct: 75})
+	add("rate", id, err)
+	seeded := checkpointTestConfig()
+	seeded.Seed = 7
+	id, err = NewSession(seeded).EnvelopeID(k)
+	add("seed", id, err)
+	scaled := checkpointTestConfig()
+	scaled.Scale = 0.1
+	id, err = NewSession(scaled).EnvelopeID(k)
+	add("scale", id, err)
+	sys := checkpointTestConfig()
+	sys.Base = memdef.DefaultConfig()
+	sys.Base.PCIeGBs = 32
+	id, err = NewSession(sys).EnvelopeID(k)
+	add("system", id, err)
+
+	if _, err := NewSession(checkpointTestConfig()).EnvelopeID(Key{Bench: "nope", Setup: "cppe"}); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("unknown bench: err = %v, want ErrUnknownKey", err)
+	}
+	if _, err := NewSession(checkpointTestConfig()).EnvelopeID(Key{Bench: "SRD", Setup: "nope"}); !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("unknown setup: err = %v, want ErrUnknownKey", err)
+	}
+}

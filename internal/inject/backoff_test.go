@@ -1,0 +1,98 @@
+package inject_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/reproductions/cppe/internal/inject"
+	"github.com/reproductions/cppe/internal/uvm"
+)
+
+// Edge-case tests for the driver's bounded exponential backoff against
+// injected fault-service failures: the retry budget, determinism of the
+// backoff schedule under a fixed seed, and degenerate zero-delay options.
+
+// TestFaultRetryBudgetExhausted drives every service attempt of every fault
+// to failure (an injector configured beyond the driver's hard budget of
+// attempts) and asserts the run dies with the structured uvm.ErrFaultService
+// instead of retrying forever or panicking.
+func TestFaultRetryBudgetExhausted(t *testing.T) {
+	m := buildMachine(t, 0, 0)
+	// MaxFailuresPerFault far above the driver's maxFaultAttempts budget, so
+	// the bounded-retry failsafe — not the injector's own bound — must end
+	// the run.
+	m.MMU.SetInjector(inject.New(inject.Options{
+		Seed: 1, FaultFailProb: 1.0, MaxFailuresPerFault: 64,
+	}))
+	res := m.Run(0)
+	if !errors.Is(res.Err, uvm.ErrFaultService) {
+		t.Fatalf("run error = %v, want uvm.ErrFaultService", res.Err)
+	}
+	if !res.Crashed {
+		t.Error("exhausted retry budget must mark the run crashed")
+	}
+	if got := m.MMU.Stats().FaultRetries; got == 0 {
+		t.Error("no retries recorded before the budget failsafe fired")
+	}
+}
+
+// TestFaultRetryBackoffDeterministic runs two machines with identical
+// injector seeds that force several transient failures per fault (still
+// within the driver's budget) and asserts the whole run — retry counts
+// included — is bit-for-bit reproducible: the backoff schedule is a pure
+// function of the seed.
+func TestFaultRetryBackoffDeterministic(t *testing.T) {
+	build := func() (res interface{}, retries uint64) {
+		m := buildMachine(t, 0, 0)
+		// Every fault fails its first 5 attempts, then succeeds on the 6th:
+		// deep, deterministic exercise of the doubling-and-capped schedule.
+		m.MMU.SetInjector(inject.New(inject.Options{
+			Seed: 424242, FaultFailProb: 1.0, MaxFailuresPerFault: 5,
+		}))
+		r := m.Run(0)
+		if r.Err != nil {
+			t.Fatalf("bounded-failure run must recover, got %v", r.Err)
+		}
+		return r, m.MMU.Stats().FaultRetries
+	}
+	resA, retriesA := build()
+	resB, retriesB := build()
+	if retriesA == 0 {
+		t.Fatal("forced failures produced no retries")
+	}
+	if retriesA != retriesB {
+		t.Errorf("retry counts diverged: %d vs %d", retriesA, retriesB)
+	}
+	if !reflect.DeepEqual(resA, resB) {
+		t.Errorf("same-seed runs diverged:\n a: %+v\n b: %+v", resA, resB)
+	}
+}
+
+// TestZeroDelayOptionsDoNotSpin pins the degenerate configuration where the
+// delay perturbation is armed (probability 1) but its magnitude bound is
+// zero: CommitDelay must return 0 every time — no rand.Int63n(0) panic, no
+// spin — and the counters must not claim a delay that never happened.
+func TestZeroDelayOptionsDoNotSpin(t *testing.T) {
+	in := inject.New(inject.Options{Seed: 3, DelayProb: 1.0, MaxDelayCycles: 0})
+	for i := 0; i < 10_000; i++ {
+		if d := in.CommitDelay(); d != 0 {
+			t.Fatalf("zero-bound delay returned %d at draw %d", d, i)
+		}
+	}
+	if s := in.Stats(); s.DelayedCommits != 0 {
+		t.Errorf("zero-bound delay counted %d delayed commits", s.DelayedCommits)
+	}
+
+	// And end to end: a machine under the degenerate options runs to
+	// completion with nothing perturbed.
+	m := buildMachine(t, 0, 0)
+	inj := inject.New(inject.Options{Seed: 3, DelayProb: 1.0, MaxDelayCycles: 0})
+	m.MMU.SetInjector(inj)
+	if res := m.Run(0); res.Err != nil {
+		t.Fatalf("degenerate-options run failed: %v", res.Err)
+	}
+	if s := inj.Stats(); s != (inject.Stats{}) {
+		t.Errorf("degenerate options perturbed the run: %+v", s)
+	}
+}

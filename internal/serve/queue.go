@@ -1,0 +1,32 @@
+package serve
+
+// queue is the bounded admission queue between the HTTP front door and the
+// worker pool. Its capacity is the backpressure knob: a full queue turns new
+// submissions into HTTP 429 + Retry-After instead of queueing without bound.
+type queue struct {
+	ch chan *Job
+}
+
+func newQueue(capacity int) *queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &queue{ch: make(chan *Job, capacity)}
+}
+
+// TryPush enqueues j without blocking; false means the queue is full and the
+// caller must shed the request.
+func (q *queue) TryPush(j *Job) bool {
+	select {
+	case q.ch <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth returns the number of queued jobs right now.
+func (q *queue) Depth() int { return len(q.ch) }
+
+// Capacity returns the admission bound.
+func (q *queue) Capacity() int { return cap(q.ch) }

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/reproductions/cppe/internal/engine"
+	"github.com/reproductions/cppe/internal/harness"
+)
+
+func TestBackoffSequence(t *testing.T) {
+	base, cp := 100*time.Millisecond, time.Second
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := Backoff(base, cp, i+1); got != w {
+			t.Errorf("Backoff(attempt %d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffEdges(t *testing.T) {
+	if got := Backoff(0, time.Second, 5); got != 0 {
+		t.Errorf("zero base: got %v, want 0", got)
+	}
+	// No cap: pure doubling.
+	if got := Backoff(time.Millisecond, 0, 11); got != 1024*time.Millisecond {
+		t.Errorf("uncapped attempt 11: got %v, want 1.024s", got)
+	}
+	// The sequence is deterministic: same inputs, same delays, every time.
+	for i := 0; i < 3; i++ {
+		if a, b := Backoff(7*time.Millisecond, time.Second, 4), 56*time.Millisecond; a != b {
+			t.Fatalf("Backoff not deterministic: got %v, want %v", a, b)
+		}
+	}
+}
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{fmt.Errorf("%w: boom\nstack...", harness.ErrPanic), true},
+		{fmt.Errorf("run: %w", engine.ErrNoProgress), true},
+		{errors.New("uvm: fault service failed"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,626 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	cppe "github.com/reproductions/cppe"
+	"github.com/reproductions/cppe/internal/stats"
+)
+
+// Runner abstracts the simulation session behind the service so the HTTP and
+// lifecycle machinery is testable with stub runners (instant, blocking,
+// failing) without spending real simulation time.
+type Runner interface {
+	// JobID returns the stable content fingerprint of req, or an error for a
+	// malformed request (surfaced as HTTP 400).
+	JobID(req Request) (string, error)
+	// Run executes the simulation, checkpointing to ckptPath every
+	// everyCycles simulated cycles and consulting stop at each boundary;
+	// stop()==true parks the run with cppe.ErrParked, leaving the checkpoint
+	// for a later Run to resume.
+	Run(req Request, ckptPath string, everyCycles uint64, stop func() bool) (cppe.Result, error)
+}
+
+// sessionRunner is the production Runner: one shared *cppe.Session. The
+// session serializes runs internally per call; concurrency across workers is
+// safe because the facade locks the underlying harness per run.
+type sessionRunner struct{ s *cppe.Session }
+
+// SessionRunner wraps a cppe.Session as the service's Runner.
+func SessionRunner(s *cppe.Session) Runner { return sessionRunner{s: s} }
+
+func toCppe(r Request) cppe.Request {
+	return cppe.Request{Benchmark: r.Benchmark, Setup: r.Setup, Oversubscription: r.Oversubscription}
+}
+
+func (r sessionRunner) JobID(req Request) (string, error) {
+	return r.s.JobID(toCppe(req))
+}
+
+func (r sessionRunner) Run(req Request, ckptPath string, everyCycles uint64, stop func() bool) (cppe.Result, error) {
+	return r.s.RunResumable(toCppe(req), ckptPath, everyCycles, stop)
+}
+
+// Config parameterizes a Server. Zero values get sensible defaults from New.
+type Config struct {
+	// StateDir is the durable state directory (journal, results, checkpoints).
+	StateDir string
+	// Workers is the size of the simulation worker pool (default 2).
+	Workers int
+	// QueueDepth bounds the admission queue; a full queue sheds new
+	// submissions with 429 (default 64).
+	QueueDepth int
+	// CheckpointEvery is the checkpoint cadence in simulated cycles; it also
+	// bounds how long a graceful drain or deadline waits for a park point
+	// (default 1<<21).
+	CheckpointEvery uint64
+	// MaxAttempts caps run attempts per job before terminal failure
+	// (default 3).
+	MaxAttempts int
+	// RetryBase and RetryCap shape the bounded exponential backoff between
+	// retryable failures (defaults 500ms base, 8s cap).
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	// Deadline is the per-attempt wall-clock budget, enforced at checkpoint
+	// boundaries; 0 means no deadline. A request's deadline_ms overrides it.
+	Deadline time.Duration
+	// Runner executes simulations; required (use SessionRunner in production).
+	Runner Runner
+	// Logf sinks operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Server is the sweep service: HTTP handlers, job registry, durable store,
+// bounded queue, and worker pool. Create with New, then Start; stop with
+// Drain + Shutdown.
+type Server struct {
+	cfg      Config
+	store    *Store
+	queue    *queue
+	flight   group
+	counters stats.ServeCounters
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+
+	draining chan struct{} // closed by Drain: shed new work
+	stop     chan struct{} // closed by Shutdown: park running jobs
+	drainOnce,
+	stopOnce sync.Once
+	wg  sync.WaitGroup
+	mux *http.ServeMux
+}
+
+// New builds a Server over cfg, opening the state directory and replaying the
+// journal: terminal jobs with results become cache entries, everything else
+// is requeued (a job that was running when the last process died resumes from
+// its checkpoint). Workers do not start until Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.Runner == nil {
+		return nil, errors.New("serve: Config.Runner is required")
+	}
+	if cfg.StateDir == "" {
+		return nil, errors.New("serve: Config.StateDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 1 << 21
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 500 * time.Millisecond
+	}
+	if cfg.RetryCap <= 0 {
+		cfg.RetryCap = 8 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+
+	store, err := OpenStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		jobs:     make(map[string]*Job),
+		draining: make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+
+	recs, err := store.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	// Requeued replay jobs must all fit regardless of the configured depth:
+	// admission control sheds *new* work, never work already accepted.
+	pending := 0
+	for _, rec := range recs {
+		// Cached jobs whose result bytes are gone rerun, so they count.
+		if !rec.State.Terminal() || (rec.State == StateCached && !store.HasResult(rec.ID)) {
+			pending++
+		}
+	}
+	depth := cfg.QueueDepth
+	if pending > depth {
+		depth = pending
+	}
+	s.queue = newQueue(depth)
+
+	for _, rec := range recs {
+		s.counters.Replayed.Add(1)
+		switch {
+		case rec.State == StateCached && !store.HasResult(rec.ID):
+			// Journal says done but the result bytes are gone (crash between
+			// the two writes, or a pruned results dir): run it again.
+			rec.State = StateQueued
+			rec.Error = ""
+			fallthrough
+		case !rec.State.Terminal():
+			rec.State = StateQueued
+			j := jobFromRecord(rec)
+			if err := store.PutJob(j.Record()); err != nil {
+				return nil, err
+			}
+			s.jobs[j.ID] = j
+			s.queue.TryPush(j) // sized above; cannot fail
+			cfg.Logf("serve: replayed job %s -> queued (attempts=%d)", j.ID, j.Attempts())
+		default:
+			j := jobFromRecord(rec)
+			s.jobs[j.ID] = j
+		}
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s, nil
+}
+
+// Start launches the worker pool.
+func (s *Server) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Handler returns the service's HTTP handler (mountable under httptest too).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Counters exposes the live service counters (shared with /statsz).
+func (s *Server) Counters() *stats.ServeCounters { return &s.counters }
+
+// Store exposes the durable store (tests and the smoke job peek at it).
+func (s *Server) Store() *Store { return s.store }
+
+// Job returns the registered job for id, or nil.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// Drain flips the server into draining mode: /healthz turns 503 and new
+// submissions are shed (cache hits still answer). Idempotent.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Shutdown gracefully stops the worker pool: Drain, then ask running jobs to
+// park at their next checkpoint boundary (requeued durably in the journal),
+// then wait for the workers — up to timeout, after which it returns an error
+// with the jobs still running. A zero timeout waits forever.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.Drain()
+	s.stopOnce.Do(func() { close(s.stop) })
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("serve: shutdown timed out after %v with workers still running", timeout)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) stopping() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d, returning false early if the server is shutting down.
+func (s *Server) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !s.stopping()
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// ---- HTTP surface ----
+
+// SubmitResponse is the body of POST /v1/jobs.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// Cached is true when the result already exists and GET .../result will
+	// answer immediately — the defining assertion of the dedup smoke test.
+	Cached bool `json:"cached"`
+	// Deduped is true when the submission joined an identical in-flight job.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// StatusResponse is the body of GET /v1/jobs/{id}.
+type StatusResponse struct {
+	ID       string  `json:"id"`
+	State    State   `json:"state"`
+	Attempts int     `json:"attempts"`
+	Error    string  `json:"error,omitempty"`
+	Request  Request `json:"request"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return
+	}
+	w.Write(append(enc, '\n'))
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	id, err := s.cfg.Runner.JobID(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j != nil {
+		switch st := j.State(); {
+		case st == StateCached:
+			s.mu.Unlock()
+			s.counters.CacheHits.Add(1)
+			writeJSON(w, http.StatusOK, SubmitResponse{ID: id, State: StateCached, Cached: true})
+			return
+		case st == StateFailed:
+			// Re-POST of a failed job re-arms it with a fresh attempt budget;
+			// it goes back through admission control below like a new job.
+		default:
+			s.mu.Unlock()
+			s.counters.Deduped.Add(1)
+			writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: st, Deduped: true})
+			return
+		}
+	} else if s.store.HasResult(id) {
+		// Completed in a previous process life; journal replay registered it
+		// unless the journal was pruned — either way, serve from disk.
+		j = NewJob(id, req)
+		j.finish(StateCached, "")
+		s.jobs[id] = j
+		s.mu.Unlock()
+		s.counters.CacheHits.Add(1)
+		writeJSON(w, http.StatusOK, SubmitResponse{ID: id, State: StateCached, Cached: true})
+		return
+	}
+
+	if s.isDraining() {
+		s.mu.Unlock()
+		s.counters.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+
+	fresh := j == nil
+	if fresh {
+		j = NewJob(id, req)
+	} else {
+		j.rearm()
+	}
+	// Durability point: the job is journaled as accepted before we answer.
+	if err := s.store.PutJob(j.Record()); err != nil {
+		if fresh {
+			delete(s.jobs, id)
+		}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.jobs[id] = j
+
+	if !s.queue.TryPush(j) {
+		// Admission control: roll the accept back and shed with 429 so the
+		// client backs off instead of the server queueing without bound.
+		if fresh {
+			delete(s.jobs, id)
+			s.store.DeleteJob(id)
+		} else {
+			j.finish(StateFailed, "requeue rejected: admission queue full")
+			s.store.PutJob(j.Record())
+		}
+		s.mu.Unlock()
+		s.counters.Rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "admission queue full"})
+		return
+	}
+	j.setState(StateQueued)
+	s.mu.Unlock()
+
+	s.store.PutJob(j.Record())
+	s.counters.Accepted.Add(1)
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: id, State: StateQueued})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.Job(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	rec := j.Record()
+	writeJSON(w, http.StatusOK, StatusResponse{
+		ID: rec.ID, State: rec.State, Attempts: rec.Attempts, Error: rec.Error, Request: rec.Request,
+	})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j := s.Job(id)
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job"})
+		return
+	}
+	switch st := j.State(); st {
+	case StateCached:
+		data, err := s.store.Result(id)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+			return
+		}
+		// The stored bytes ARE the response: canonical ResultJSON, identical
+		// to `cppe-sim -json` for the same configuration.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, StatusResponse{
+			ID: id, State: st, Attempts: j.Attempts(), Error: j.Err(), Request: j.Req,
+		})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusAccepted, StatusResponse{
+			ID: id, State: st, Attempts: j.Attempts(), Request: j.Req,
+		})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statszResponse is the body of GET /statsz.
+type statszResponse struct {
+	Counters stats.ServeSnapshot `json:"counters"`
+	Queue    struct {
+		Depth    int `json:"depth"`
+		Capacity int `json:"capacity"`
+	} `json:"queue"`
+	Workers  int            `json:"workers"`
+	Jobs     map[string]int `json:"jobs"`
+	Draining bool           `json:"draining"`
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	out := statszResponse{
+		Counters: s.counters.Snapshot(),
+		Workers:  s.cfg.Workers,
+		Jobs:     make(map[string]int),
+		Draining: s.isDraining(),
+	}
+	out.Queue.Depth = s.queue.Depth()
+	out.Queue.Capacity = s.queue.Capacity()
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		out.Jobs[string(j.State())]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- worker pool ----
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue.ch:
+			if s.stopping() {
+				// Shutdown won the race for this dequeue: don't start a
+				// simulation we'd immediately park — journal it as queued
+				// for the next process life and let the worker exit.
+				s.park(j)
+				continue
+			}
+			// Single-flight across workers: if a concurrent execution of the
+			// same fingerprint is somehow in flight, wait it out instead of
+			// running the simulation twice.
+			s.flight.Do(j.ID, func() { s.execute(j) })
+		}
+	}
+}
+
+// persist journals j's current state; journal write failures degrade
+// durability, not availability, so they log instead of failing the job.
+func (s *Server) persist(j *Job) {
+	if err := s.store.PutJob(j.Record()); err != nil {
+		s.cfg.Logf("serve: journal write failed for %s: %v", j.ID, err)
+	}
+}
+
+// park journals j back to queued. Parking only happens on the shutdown path,
+// where the journal — not the in-memory queue — is what carries the job to
+// the next process life, so there is deliberately no re-enqueue here.
+func (s *Server) park(j *Job) {
+	s.counters.Parked.Add(1)
+	j.setState(StateQueued)
+	s.persist(j)
+}
+
+func (s *Server) fail(j *Job, msg string) {
+	s.counters.Failed.Add(1)
+	j.finish(StateFailed, msg)
+	s.persist(j)
+	s.cfg.Logf("serve: job %s failed: %s", j.ID, msg)
+}
+
+// execute drives one job to a terminal state (or parks it for shutdown):
+// run -> retry with bounded exponential backoff on retryable errors,
+// resuming from the retained checkpoint -> cached or failed.
+func (s *Server) execute(j *Job) {
+	if j.State().Terminal() {
+		return // replay raced a duplicate; nothing to do
+	}
+	ckpt := s.store.CheckpointPath(j.ID)
+	deadline := s.cfg.Deadline
+	if j.Req.DeadlineMS > 0 {
+		deadline = time.Duration(j.Req.DeadlineMS) * time.Millisecond
+	}
+	for {
+		j.setState(StateRunning)
+		s.persist(j)
+
+		var deadlineAt time.Time
+		if deadline > 0 {
+			deadlineAt = time.Now().Add(deadline)
+		}
+		deadlineHit := false
+		stopFn := func() bool {
+			if s.stopping() {
+				return true
+			}
+			if !deadlineAt.IsZero() && time.Now().After(deadlineAt) {
+				deadlineHit = true
+				return true
+			}
+			return false
+		}
+
+		s.counters.SimsStarted.Add(1)
+		if _, err := os.Stat(ckpt); err == nil {
+			s.counters.Resumed.Add(1)
+		}
+		res, err := s.cfg.Runner.Run(j.Req, ckpt, s.cfg.CheckpointEvery, stopFn)
+
+		if errors.Is(err, cppe.ErrParked) {
+			if deadlineHit && !s.stopping() {
+				// Deadline, not drain. Terminal: the checkpoint stays behind,
+				// so a re-POST continues from here instead of starting over.
+				s.fail(j, fmt.Sprintf("deadline exceeded after %v (attempt %d)", deadline, j.Attempts()+1))
+				return
+			}
+			s.cfg.Logf("serve: job %s parked at checkpoint for shutdown", j.ID)
+			s.park(j)
+			return
+		}
+		if err != nil {
+			// Pre-run failure (bad request slipped past JobID, unwritable
+			// checkpoint path): nothing to retry.
+			s.fail(j, err.Error())
+			return
+		}
+
+		s.counters.SimsCompleted.Add(1)
+		if res.Err == nil {
+			// Clean or modeled-crash completion: render canonically, store,
+			// and flip to cached only after the result bytes are durable.
+			data, jerr := cppe.ResultJSON(res)
+			if jerr == nil {
+				jerr = s.store.PutResult(j.ID, data)
+			}
+			if jerr != nil {
+				s.fail(j, jerr.Error())
+				return
+			}
+			j.finish(StateCached, "")
+			s.persist(j)
+			return
+		}
+
+		attempt := j.bumpAttempts()
+		if !Retryable(res.Err) || attempt >= s.cfg.MaxAttempts {
+			s.fail(j, res.Err.Error())
+			return
+		}
+		s.counters.Retries.Add(1)
+		j.setState(StateRetrying)
+		s.persist(j)
+		delay := Backoff(s.cfg.RetryBase, s.cfg.RetryCap, attempt)
+		s.cfg.Logf("serve: job %s attempt %d failed (%v); retrying in %v", j.ID, attempt, res.Err, delay)
+		if !s.sleep(delay) {
+			s.park(j) // shutdown during backoff: requeue durably
+			return
+		}
+	}
+}

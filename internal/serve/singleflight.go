@@ -1,0 +1,45 @@
+package serve
+
+import "sync"
+
+// group collapses concurrent executions of the same key: the first caller
+// runs fn, later callers with the same key block until it finishes and report
+// that they did not run. The job registry already deduplicates submissions by
+// content-addressed ID, so in steady state every key has exactly one runner;
+// this guard is the belt to that suspenders — it keeps even a replay anomaly
+// or registry bug down to one underlying simulation per fingerprint.
+//
+// A minimal stdlib-only single-flight (no golang.org/x/sync in this repo):
+// callers share a WaitGroup per in-flight key rather than a result, because
+// job results travel through the store, not through return values.
+type group struct {
+	mu       sync.Mutex
+	inflight map[string]*sync.WaitGroup
+}
+
+// Do runs fn if no execution for key is in flight, returning true. If one is
+// in flight, Do waits for it to finish and returns false without running fn.
+func (g *group) Do(key string, fn func()) bool {
+	g.mu.Lock()
+	if g.inflight == nil {
+		g.inflight = make(map[string]*sync.WaitGroup)
+	}
+	if wg, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		wg.Wait()
+		return false
+	}
+	wg := &sync.WaitGroup{}
+	wg.Add(1)
+	g.inflight[key] = wg
+	g.mu.Unlock()
+
+	defer func() {
+		g.mu.Lock()
+		delete(g.inflight, key)
+		g.mu.Unlock()
+		wg.Done()
+	}()
+	fn()
+	return true
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store is the durable side of the service: a state directory holding the job
+// journal, the completed-result cache, and the per-job simulation checkpoints.
+//
+//	<dir>/journal/<id>.json   one record per job, atomically replaced on every
+//	                          state transition; replayed at startup
+//	<dir>/results/<id>.json   canonical ResultJSON bytes of completed jobs,
+//	                          served verbatim (byte-identical to cppe-sim -json)
+//	<dir>/ckpt/<id>.ckpt      periodic CRC-framed simulation checkpoints,
+//	                          owned by harness.RunResumable
+//
+// All writes go through tmp+rename in the destination directory, so a kill -9
+// at any instant leaves either the old file or the new one, never a torn
+// record. Leftover .tmp files from a crash are swept on Open.
+type Store struct {
+	dir string
+}
+
+// OpenStore creates (if needed) the state directory layout and sweeps torn
+// temporary files left by a crashed writer.
+func OpenStore(dir string) (*Store, error) {
+	st := &Store{dir: dir}
+	for _, sub := range []string{st.journalDir(), st.resultsDir(), st.ckptDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: state dir: %w", err)
+		}
+		tmps, err := filepath.Glob(filepath.Join(sub, "*.tmp"))
+		if err != nil {
+			return nil, fmt.Errorf("serve: state dir sweep: %w", err)
+		}
+		for _, t := range tmps {
+			os.Remove(t)
+		}
+	}
+	return st, nil
+}
+
+// Dir returns the root state directory.
+func (st *Store) Dir() string { return st.dir }
+
+func (st *Store) journalDir() string { return filepath.Join(st.dir, "journal") }
+func (st *Store) resultsDir() string { return filepath.Join(st.dir, "results") }
+func (st *Store) ckptDir() string    { return filepath.Join(st.dir, "ckpt") }
+
+// safeName defends the filesystem against a hostile or buggy ID: job IDs are
+// 16 hex digits in production, but stub runners may hand us anything.
+func safeName(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		}
+		return '_'
+	}, id)
+}
+
+func (st *Store) journalPath(id string) string {
+	return filepath.Join(st.journalDir(), safeName(id)+".json")
+}
+
+func (st *Store) resultPath(id string) string {
+	return filepath.Join(st.resultsDir(), safeName(id)+".json")
+}
+
+// CheckpointPath returns where job id's simulation checkpoint lives. The file
+// is created and consumed by harness.RunResumable; the store only names it.
+func (st *Store) CheckpointPath(id string) string {
+	return filepath.Join(st.ckptDir(), safeName(id)+".ckpt")
+}
+
+// atomicWrite replaces path with data via tmp+rename in the same directory.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// PutJob journals rec, atomically replacing the job's previous record. This
+// is the durability point of every state transition.
+func (st *Store) PutJob(rec Record) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: journal %s: %w", rec.ID, err)
+	}
+	if err := atomicWrite(st.journalPath(rec.ID), append(data, '\n')); err != nil {
+		return fmt.Errorf("serve: journal %s: %w", rec.ID, err)
+	}
+	return nil
+}
+
+// DeleteJob removes a job's journal record (used to roll back an admission
+// that lost the queue-capacity race). Missing records are fine.
+func (st *Store) DeleteJob(id string) {
+	os.Remove(st.journalPath(id))
+}
+
+// Jobs reads every journal record, sorted by ID so replay order is
+// deterministic. Records that fail to parse (torn by a crash predating the
+// tmp+rename discipline, or hand-edited) are removed and skipped: a journal
+// that cannot be replayed must not wedge the service forever.
+func (st *Store) Jobs() ([]Record, error) {
+	paths, err := filepath.Glob(filepath.Join(st.journalDir(), "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("serve: journal scan: %w", err)
+	}
+	sort.Strings(paths)
+	recs := make([]Record, 0, len(paths))
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(data, &rec) != nil || rec.ID == "" {
+			os.Remove(p)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// PutResult stores the canonical result bytes for a completed job.
+func (st *Store) PutResult(id string, data []byte) error {
+	if err := atomicWrite(st.resultPath(id), data); err != nil {
+		return fmt.Errorf("serve: result %s: %w", id, err)
+	}
+	return nil
+}
+
+// Result returns the stored result bytes for id.
+func (st *Store) Result(id string) ([]byte, error) {
+	return os.ReadFile(st.resultPath(id))
+}
+
+// HasResult reports whether a completed result is on disk for id.
+func (st *Store) HasResult(id string) bool {
+	_, err := os.Stat(st.resultPath(id))
+	return err == nil
+}

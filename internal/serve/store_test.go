@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestStoreJournalRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{ID: "bbb", Request: Request{Benchmark: "SRD", Setup: "cppe", Oversubscription: 50}, State: StateQueued, Attempts: 1},
+		{ID: "aaa", Request: Request{Benchmark: "NW", Setup: "baseline", Oversubscription: 75}, State: StateFailed, Error: "boom"},
+	}
+	for _, rec := range recs {
+		if err := st.PutJob(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay order is sorted by ID, independent of write order.
+	want := []Record{recs[1], recs[0]}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Jobs() = %+v, want %+v", got, want)
+	}
+
+	// Overwrite is last-state-wins.
+	recs[0].State = StateCached
+	if err := st.PutJob(recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = st.Jobs()
+	if len(got) != 2 || got[1].State != StateCached {
+		t.Errorf("after overwrite: %+v", got)
+	}
+
+	st.DeleteJob("bbb")
+	if got, _ = st.Jobs(); len(got) != 1 || got[0].ID != "aaa" {
+		t.Errorf("after delete: %+v", got)
+	}
+}
+
+func TestStoreResults(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HasResult("x") {
+		t.Fatal("HasResult true before Put")
+	}
+	data := []byte("{\n  \"Cycles\": 1\n}\n")
+	if err := st.PutResult("x", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Result("x")
+	if err != nil || string(got) != string(data) {
+		t.Fatalf("Result = %q, %v; want stored bytes back", got, err)
+	}
+	if !st.HasResult("x") {
+		t.Error("HasResult false after Put")
+	}
+}
+
+// TestStoreCrashHygiene pins the crash-recovery contract of the store: torn
+// .tmp files are swept on open, and unparsable journal records are removed
+// (not just skipped) so a bad record cannot wedge replay forever.
+func TestStoreCrashHygiene(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutJob(Record{ID: "good", State: StateQueued}); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "journal", "torn.json.tmp")
+	corrupt := filepath.Join(dir, "journal", "corrupt.json")
+	os.WriteFile(torn, []byte("{\"id\":\"to"), 0o644)
+	os.WriteFile(corrupt, []byte("not json"), 0o644)
+
+	// Reopen simulates a restart after the crash that left those files.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Error("reopen did not sweep the torn .tmp file")
+	}
+	recs, err := st2.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].ID != "good" {
+		t.Errorf("Jobs() = %+v, want just the good record", recs)
+	}
+	if _, err := os.Stat(corrupt); !os.IsNotExist(err) {
+		t.Error("replay did not remove the corrupt record")
+	}
+}
+
+func TestSafeName(t *testing.T) {
+	if got := safeName("../../etc/passwd"); got != "______etc_passwd" {
+		t.Errorf("safeName traversal: %q", got)
+	}
+	if got := safeName("00e1f2a3b4c5d6e7"); got != "00e1f2a3b4c5d6e7" {
+		t.Errorf("safeName mangled a clean ID: %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import "sync/atomic"
+
+// Service-layer counters for cppe-serve. The counters are monotonic atomics
+// (safe for concurrent use from HTTP handlers and workers) and stay inside
+// the determinism contract of this package: no goroutines, no clocks, no map
+// iteration — the service layer owns all of those.
+
+// ServeCounters counts the observable events of the sweep service's job
+// lifecycle. All fields are cumulative since process start; a restart resets
+// them (durable state lives in the job store, not here).
+type ServeCounters struct {
+	// Accepted counts jobs admitted into the queue (fresh submissions and
+	// re-submissions of failed jobs).
+	Accepted atomic.Uint64
+	// Deduped counts submissions that matched an in-flight job and were
+	// single-flighted onto it instead of running again.
+	Deduped atomic.Uint64
+	// CacheHits counts submissions answered directly from the completed
+	// result cache (no simulation, no queueing).
+	CacheHits atomic.Uint64
+	// Rejected counts submissions turned away by admission control (full
+	// queue -> 429, or draining -> 503).
+	Rejected atomic.Uint64
+	// Replayed counts jobs recovered from the journal at startup.
+	Replayed atomic.Uint64
+	// SimsStarted / SimsCompleted count underlying simulation attempts: a
+	// cache-served or deduplicated request starts no simulation, which is
+	// exactly what the dedup smoke test asserts.
+	SimsStarted   atomic.Uint64
+	SimsCompleted atomic.Uint64
+	// Resumed counts simulation attempts that continued from an on-disk
+	// checkpoint instead of starting from cycle zero.
+	Resumed atomic.Uint64
+	// Retries counts attempts re-scheduled after a retryable run failure.
+	Retries atomic.Uint64
+	// Parked counts runs checkpointed and requeued by a graceful shutdown.
+	Parked atomic.Uint64
+	// Failed counts jobs that reached the terminal failed state.
+	Failed atomic.Uint64
+}
+
+// ServeSnapshot is a point-in-time reading of ServeCounters, shaped for the
+// /statsz JSON document.
+type ServeSnapshot struct {
+	Accepted      uint64 `json:"accepted"`
+	Deduped       uint64 `json:"deduped"`
+	CacheHits     uint64 `json:"cache_hits"`
+	Rejected      uint64 `json:"rejected"`
+	Replayed      uint64 `json:"replayed"`
+	SimsStarted   uint64 `json:"sims_started"`
+	SimsCompleted uint64 `json:"sims_completed"`
+	Resumed       uint64 `json:"resumed"`
+	Retries       uint64 `json:"retries"`
+	Parked        uint64 `json:"parked"`
+	Failed        uint64 `json:"failed"`
+}
+
+// Snapshot returns the current counter values. Each counter is read
+// atomically; the snapshot as a whole is not a single atomic cut, which is
+// fine for monitoring (every value is monotone).
+func (c *ServeCounters) Snapshot() ServeSnapshot {
+	return ServeSnapshot{
+		Accepted:      c.Accepted.Load(),
+		Deduped:       c.Deduped.Load(),
+		CacheHits:     c.CacheHits.Load(),
+		Rejected:      c.Rejected.Load(),
+		Replayed:      c.Replayed.Load(),
+		SimsStarted:   c.SimsStarted.Load(),
+		SimsCompleted: c.SimsCompleted.Load(),
+		Resumed:       c.Resumed.Load(),
+		Retries:       c.Retries.Load(),
+		Parked:        c.Parked.Load(),
+		Failed:        c.Failed.Load(),
+	}
+}

@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestServeCountersSnapshot(t *testing.T) {
+	var c ServeCounters
+	if c.Snapshot() != (ServeSnapshot{}) {
+		t.Fatalf("zero counters snapshot non-zero: %+v", c.Snapshot())
+	}
+	c.Accepted.Add(3)
+	c.Deduped.Add(1)
+	c.SimsStarted.Add(2)
+	c.SimsCompleted.Add(2)
+	c.Parked.Add(1)
+	got := c.Snapshot()
+	want := ServeSnapshot{Accepted: 3, Deduped: 1, SimsStarted: 2, SimsCompleted: 2, Parked: 1}
+	if got != want {
+		t.Errorf("Snapshot() = %+v, want %+v", got, want)
+	}
+
+	// The JSON field names are the /statsz wire contract (the CI smoke job
+	// greps for sims_started); pin the ones scripts depend on.
+	enc, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"sims_started":2`, `"cache_hits":0`, `"accepted":3`, `"parked":1`} {
+		if !strings.Contains(string(enc), field) {
+			t.Errorf("snapshot JSON %s missing %s", enc, field)
+		}
+	}
+}
