@@ -72,6 +72,14 @@ func main() {
 		for _, su := range cppe.Setups() {
 			fmt.Println(" ", su)
 		}
+		fmt.Println("eviction policies (usable as -setup <eviction>+<prefetcher>):")
+		for _, name := range cppe.EvictionPolicies() {
+			fmt.Printf("  %-16s %s\n", name, cppe.PolicyDescription(cppe.KindEviction, name))
+		}
+		fmt.Println("prefetchers:")
+		for _, name := range cppe.Prefetchers() {
+			fmt.Printf("  %-16s %s\n", name, cppe.PolicyDescription(cppe.KindPrefetch, name))
+		}
 		return
 	}
 

@@ -63,6 +63,10 @@ const (
 	SetupHPE = "hpe"
 	// SetupTree is LRU + the tree-based neighborhood prefetcher.
 	SetupTree = "tree"
+	// SetupLearned is the learned perceptron eviction policy + the paper's
+	// pattern-aware prefetcher (Scheme-2) — the in-tree demonstration of the
+	// policy plugin registry (see RegisterPolicy).
+	SetupLearned = "learned"
 )
 
 // Experiment identifiers accepted by Session.Experiment.
@@ -88,6 +92,9 @@ const (
 	ExpBreakdown  = "breakdown"
 	ExpClaims     = "claims"
 	ExpRobustness = "robustness"
+	// ExpFig8Learned benchmarks the learned eviction policy against CPPE
+	// across all 23 workloads (the registry's end-to-end experiment).
+	ExpFig8Learned = "fig8-learned"
 )
 
 // Options configure a Session. The zero value reproduces the paper's
@@ -228,12 +235,14 @@ func DefaultSystemJSON() []byte {
 // Benchmarks returns the Table II benchmark abbreviations in paper order.
 func Benchmarks() []string { return workload.Abbrs() }
 
-// Setups returns the canonical setup names.
+// Setups returns the canonical setup names. Beyond these, any registered
+// "<eviction>+<prefetcher>" pair (see RegisterPolicy, EvictionPolicies,
+// Prefetchers) is a valid Request.Setup, resolved dynamically.
 func Setups() []string {
 	return []string{
 		SetupBaseline, SetupCPPE, SetupCPPEScheme1, SetupRandom,
 		SetupReservedLRU10, SetupReservedLRU20, SetupDisableOnFull,
-		SetupHPE, SetupTree,
+		SetupHPE, SetupTree, SetupLearned,
 	}
 }
 
@@ -244,6 +253,7 @@ func Experiments() []string {
 		ExpSweepT3, ExpFig7, ExpFig8, ExpFig9a, ExpFig9b, ExpFig10,
 		ExpOverhead, ExpAblHPE, ExpAblTree, ExpAblMHPE, ExpAblTrueLRU,
 		ExpSweepRate, ExpBreakdown, ExpRobustness, ExpClaims,
+		ExpFig8Learned,
 	}
 }
 
@@ -362,6 +372,8 @@ func (s *Session) tableFor(id string) (*stats.Table, error) {
 		return s.h.Robustness(), nil
 	case ExpClaims:
 		return s.h.ClaimsTable(), nil
+	case ExpFig8Learned:
+		return s.h.Fig8Learned(), nil
 	default:
 		known := Experiments()
 		sort.Strings(known)
@@ -404,8 +416,8 @@ func (s *Session) Describe(req Request) (string, error) {
 // `cppe-trace -o`) and simulates it under the given setup at the given
 // oversubscription rate. Unlike Run, trace runs are not cached.
 func (s *Session) RunTraceFrom(r io.Reader, setup string, oversubscription int) (Result, error) {
-	if _, ok := s.h.Setup(setup); !ok {
-		return Result{}, fmt.Errorf("cppe: unknown setup %q (see Setups())", setup)
+	if _, err := s.h.ResolveSetup(setup); err != nil {
+		return Result{}, fmt.Errorf("cppe: %w (see Setups, EvictionPolicies, Prefetchers)", err)
 	}
 	if oversubscription < 0 || oversubscription > 100 {
 		return Result{}, fmt.Errorf("cppe: oversubscription %d%% out of [0,100]", oversubscription)

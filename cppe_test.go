@@ -1,6 +1,7 @@
 package cppe
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -35,6 +36,22 @@ func TestRunValidation(t *testing.T) {
 	}
 	if _, err := apiSess.Run(Request{Benchmark: "SRD", Setup: SetupCPPE, Oversubscription: 101}); err == nil {
 		t.Error("bad rate accepted")
+	}
+}
+
+// TestRunUnknownPolicyTyped: the public API classifies a dynamic
+// "<eviction>+<prefetcher>" setup with an unknown half as ErrUnknownPolicy —
+// the error cppe-sim turns into a message plus exit status 1, never a panic.
+func TestRunUnknownPolicyTyped(t *testing.T) {
+	for _, setup := range []string{"nosuch+locality", "mhpe+nosuch"} {
+		_, err := apiSess.Run(Request{Benchmark: "SRD", Setup: setup, Oversubscription: 50})
+		if !errors.Is(err, ErrUnknownPolicy) {
+			t.Errorf("Run(setup=%q) err = %v, want errors.Is(ErrUnknownPolicy)", setup, err)
+		}
+	}
+	// A valid registered pair is accepted by validation.
+	if _, err := apiSess.Run(Request{Benchmark: "STN", Setup: "true-lru+none", Oversubscription: 50}); err != nil {
+		t.Errorf("valid dynamic pair rejected: %v", err)
 	}
 }
 
@@ -131,7 +148,7 @@ func TestExperimentsListMatchesDispatch(t *testing.T) {
 	for _, id := range Experiments() {
 		known[id] = true
 	}
-	if len(known) != 21 {
+	if len(known) != 22 {
 		t.Fatalf("experiments = %d", len(known))
 	}
 	for _, id := range []string{ExpFig8, ExpOverhead, ExpAblHPE} {

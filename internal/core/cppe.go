@@ -19,6 +19,7 @@ import (
 
 	"github.com/reproductions/cppe/internal/evict"
 	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/policy"
 	"github.com/reproductions/cppe/internal/prefetch"
 )
 
@@ -121,110 +122,71 @@ type Setup struct {
 	NewPrefetcher func(cfg memdef.Config) (prefetch.Prefetcher, error)
 }
 
-// The named setups of the evaluation.
+// FromRegistry builds a Setup whose eviction policy and prefetcher resolve by
+// registry name when the harness constructs the run's machine. Unknown names
+// surface as policy.ErrUnknownPolicy through the Result.Err path, never as a
+// construction panic. The canonical evaluation setups below are all registry
+// pairs; only the parameterized design ablations (which bake in override
+// values no registry name captures) still construct policies directly.
+func FromRegistry(name, description, evictName, pfName string) Setup {
+	return Setup{
+		Name:        name,
+		Description: description,
+		NewPolicy: func(cfg memdef.Config, seed int64) (evict.Policy, error) {
+			return policy.NewEviction(evictName, policy.Env{Config: cfg, Seed: seed})
+		},
+		NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
+			return policy.NewPrefetch(pfName, policy.Env{Config: cfg})
+		},
+	}
+}
+
+// The named setups of the evaluation, as registry (eviction, prefetch) pairs.
 var (
 	// SetupBaseline is the state-of-the-art software baseline [16]:
 	// sequential-local prefetcher + LRU pre-eviction, prefetching naively
 	// under oversubscription.
-	SetupBaseline = Setup{
-		Name:        "baseline",
-		Description: "LRU + locality prefetch (Ganguly et al. [16])",
-		NewPolicy:   func(memdef.Config, int64) (evict.Policy, error) { return evict.NewLRU(), nil },
-		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
-			return prefetch.NewLocality(), nil
-		},
-	}
+	SetupBaseline = FromRegistry("baseline",
+		"LRU + locality prefetch (Ganguly et al. [16])", "lru", "locality")
 
 	// SetupCPPE is the paper's system with deletion Scheme-2.
-	SetupCPPE = Setup{
-		Name:        "cppe",
-		Description: "MHPE + pattern-aware prefetch, Scheme-2 (this paper)",
-		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
-			inst, err := New(cfg, Options{Scheme: prefetch.Scheme2})
-			if err != nil {
-				return nil, err
-			}
-			return inst.Policy, nil
-		},
-		NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
-			return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
-		},
-	}
+	SetupCPPE = FromRegistry("cppe",
+		"MHPE + pattern-aware prefetch, Scheme-2 (this paper)", "mhpe", "pattern-s2")
 
 	// SetupCPPES1 is CPPE with deletion Scheme-1 (Fig. 7).
-	SetupCPPES1 = Setup{
-		Name:        "cppe-s1",
-		Description: "MHPE + pattern-aware prefetch, Scheme-1 (Fig. 7)",
-		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
-			inst, err := New(cfg, Options{Scheme: prefetch.Scheme1})
-			if err != nil {
-				return nil, err
-			}
-			return inst.Policy, nil
-		},
-		NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
-			return prefetch.NewPattern(prefetch.Scheme1, cfg.PatternMinUntouch)
-		},
-	}
+	SetupCPPES1 = FromRegistry("cppe-s1",
+		"MHPE + pattern-aware prefetch, Scheme-1 (Fig. 7)", "mhpe", "pattern-s1")
 
 	// SetupRandom is Random eviction + locality prefetch (Fig. 3/9).
-	SetupRandom = Setup{
-		Name:        "random",
-		Description: "Random eviction + locality prefetch (Fig. 3/9)",
-		NewPolicy: func(_ memdef.Config, seed int64) (evict.Policy, error) {
-			return evict.NewRandom(seed), nil
-		},
-		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
-			return prefetch.NewLocality(), nil
-		},
-	}
+	SetupRandom = FromRegistry("random",
+		"Random eviction + locality prefetch (Fig. 3/9)", "random", "locality")
 
 	// SetupDisableOnFull turns prefetching off once memory fills (Fig. 10).
-	SetupDisableOnFull = Setup{
-		Name:        "disable-on-full",
-		Description: "LRU + prefetch disabled when memory full (Fig. 10)",
-		NewPolicy:   func(memdef.Config, int64) (evict.Policy, error) { return evict.NewLRU(), nil },
-		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
-			return prefetch.NewDisableOnFull(), nil
-		},
-	}
+	SetupDisableOnFull = FromRegistry("disable-on-full",
+		"LRU + prefetch disabled when memory full (Fig. 10)", "lru", "disable-on-full")
 
 	// SetupHPE couples the original HPE with the locality prefetcher — the
 	// Inefficiency-1 ablation.
-	SetupHPE = Setup{
-		Name:        "hpe",
-		Description: "original HPE + locality prefetch (Inefficiency 1 ablation)",
-		NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
-			return evict.NewHPE(evict.HPEOptions{IntervalPages: cfg.IntervalPages}), nil
-		},
-		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
-			return prefetch.NewLocality(), nil
-		},
-	}
+	SetupHPE = FromRegistry("hpe",
+		"original HPE + locality prefetch (Inefficiency 1 ablation)", "hpe", "locality")
 
 	// SetupTree couples LRU with the tree-based neighborhood prefetcher
 	// (extension ablation).
-	SetupTree = Setup{
-		Name:        "tree",
-		Description: "LRU + tree-based neighborhood prefetch (ablation)",
-		NewPolicy:   func(memdef.Config, int64) (evict.Policy, error) { return evict.NewLRU(), nil },
-		NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
-			return prefetch.NewTree(), nil
-		},
-	}
+	SetupTree = FromRegistry("tree",
+		"LRU + tree-based neighborhood prefetch (ablation)", "lru", "tree")
+
+	// SetupLearned couples the perceptron eviction policy with the paper's
+	// pattern-aware prefetcher — the registry's proof that an external,
+	// view-driven policy slots into the full evaluation pipeline.
+	SetupLearned = FromRegistry("learned",
+		"learned perceptron eviction + pattern-aware prefetch, Scheme-2", "learned", "pattern-s2")
 )
 
 // SetupTrueLRU is the oracle ablation: LRU over actual GPU-side touch
 // recency, which a real driver cannot observe. It bounds how much of the
 // driver's visibility handicap MHPE recovers.
-var SetupTrueLRU = Setup{
-	Name:        "true-lru",
-	Description: "oracle touch-recency LRU + locality prefetch (visibility ablation)",
-	NewPolicy:   func(memdef.Config, int64) (evict.Policy, error) { return evict.NewTrueLRU(), nil },
-	NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
-		return prefetch.NewLocality(), nil
-	},
-}
+var SetupTrueLRU = FromRegistry("true-lru",
+	"oracle touch-recency LRU + locality prefetch (visibility ablation)", "true-lru", "locality")
 
 // SetupCPPEInterval is CPPE with an overridden interval length in migrated
 // pages (the interval-length design ablation; the paper fixes 64).
@@ -283,11 +245,18 @@ func SetupCPPEFwd(initial int) Setup {
 }
 
 // SetupReservedLRU returns reserved LRU with the given reserved fraction +
-// locality prefetch (LRU-10% / LRU-20% in Fig. 3/9).
+// locality prefetch (LRU-10% / LRU-20% in Fig. 3/9). The canonical fractions
+// resolve through the registry ("lru-10%", "lru-20%"); other fractions have
+// no registry name and construct the policy directly.
 func SetupReservedLRU(fraction float64) Setup {
+	name := fmt.Sprintf("lru-%d%%", int(fraction*100+0.5))
+	const desc = "reserved LRU + locality prefetch (Fig. 3/9)"
+	if _, err := policy.Lookup(policy.KindEviction, name); err == nil {
+		return FromRegistry(name, desc, name, "locality")
+	}
 	return Setup{
-		Name:        fmt.Sprintf("lru-%d%%", int(fraction*100+0.5)),
-		Description: "reserved LRU + locality prefetch (Fig. 3/9)",
+		Name:        name,
+		Description: desc,
 		NewPolicy: func(_ memdef.Config, _ int64) (evict.Policy, error) {
 			return evict.NewReservedLRU(fraction), nil
 		},

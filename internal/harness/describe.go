@@ -68,5 +68,11 @@ func (s *Session) Describe(k Key) string {
 		w("  recorded          %d (peak length %d)", p.Recorded, p.PeakLen)
 		w("  hits              %d (%d matches, %d mismatches, %d deletions)", p.Hits, p.Matches, p.Mismatches, p.Deletions)
 	}
+	if l := r.Learned; l != nil {
+		w("learned model")
+		w("  evictions         %d (%d wrong, %d explorations)", l.Evictions, l.WrongEvictions, l.Explorations)
+		w("  updates           %d promotions, %d demotions", l.Promotions, l.Demotions)
+		w("  weights           %v", l.Weights)
+	}
 	return b.String()
 }

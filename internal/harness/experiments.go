@@ -299,6 +299,47 @@ func (s *Session) Fig8() *stats.Table {
 	return t
 }
 
+// Fig8Learned benchmarks the learned perceptron eviction policy against the
+// paper's systems: learned and CPPE speedup over the baseline at 75% and 50%
+// oversubscription for every application. It is the registry's end-to-end
+// experiment — the learned policy reaches the sweep exclusively through its
+// registered name.
+func (s *Session) Fig8Learned() *stats.Table {
+	var keys []Key
+	for _, b := range workload.Abbrs() {
+		for _, pct := range Rates {
+			keys = append(keys,
+				Key{b, "baseline", pct}, Key{b, "cppe", pct}, Key{b, "learned", pct})
+		}
+	}
+	s.Warm(keys)
+
+	t := stats.NewTable("Fig. 8 (learned): perceptron eviction vs CPPE, normalized to baseline",
+		"App", "Type", "Learned @75%", "CPPE @75%", "Learned @50%", "CPPE @50%")
+	t.Caption = "X marks runs where the baseline thrash-crashed"
+	push := func(dst *[]float64, v float64) {
+		if v > 0 {
+			*dst = append(*dst, v)
+		}
+	}
+	var al75, ac75, al50, ac50 []float64
+	for _, b := range workload.All() {
+		l75 := Speedup(s.Run(Key{b.Abbr, "baseline", 75}), s.Run(Key{b.Abbr, "learned", 75}))
+		c75 := Speedup(s.Run(Key{b.Abbr, "baseline", 75}), s.Run(Key{b.Abbr, "cppe", 75}))
+		l50 := Speedup(s.Run(Key{b.Abbr, "baseline", 50}), s.Run(Key{b.Abbr, "learned", 50}))
+		c50 := Speedup(s.Run(Key{b.Abbr, "baseline", 50}), s.Run(Key{b.Abbr, "cppe", 50}))
+		push(&al75, l75)
+		push(&ac75, c75)
+		push(&al50, l50)
+		push(&ac50, c50)
+		t.AddRow(b.Abbr, b.Type.Short(), cell(l75), cell(c75), cell(l50), cell(c50))
+	}
+	t.AddRow("GeoMean", "",
+		cell(stats.GeoMean(al75)), cell(stats.GeoMean(ac75)),
+		cell(stats.GeoMean(al50)), cell(stats.GeoMean(ac50)))
+	return t
+}
+
 // Fig9 compares Random, reserved LRU and CPPE (all normalized to the
 // baseline) at the given oversubscription rate.
 func (s *Session) Fig9(pct int) *stats.Table {

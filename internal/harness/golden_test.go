@@ -72,3 +72,16 @@ func TestGoldenSingleRun(t *testing.T) {
 	}
 	checkGolden(t, "describe_nw_scale005", goldenSession().Describe(Key{"NW", "cppe", 50}))
 }
+
+// TestGoldenFig8Learned pins the learned-policy comparison sweep. The learned
+// perceptron's decisions depend on seeded exploration and online weight
+// updates, so this golden is the byte-level determinism gate for the whole
+// learned stack: features read through the MachineView, splitmix64 draws, and
+// fixed-point weight arithmetic. The CI policy-conformance job byte-diffs
+// cppe-bench's fig8-learned output against the same file.
+func TestGoldenFig8Learned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	checkGolden(t, "fig8_learned_scale005", goldenSession().Fig8Learned().String())
+}

@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/core"
+	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/prefetch"
+)
+
+// directSetups replicates the pre-registry setup wiring: policies and
+// prefetchers constructed directly, exactly as the canonical setups built
+// them before they resolved through the policy registry. The equivalence test
+// pins the refactor: registry resolution must be a pure indirection with
+// byte-identical results.
+func directSetups() []core.Setup {
+	locality := func(memdef.Config) (prefetch.Prefetcher, error) { return prefetch.NewLocality(), nil }
+	return []core.Setup{
+		{
+			Name:          "baseline",
+			NewPolicy:     func(memdef.Config, int64) (evict.Policy, error) { return evict.NewLRU(), nil },
+			NewPrefetcher: locality,
+		},
+		{
+			Name: "cppe",
+			NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
+				inst, err := core.New(cfg, core.Options{Scheme: prefetch.Scheme2})
+				if err != nil {
+					return nil, err
+				}
+				return inst.Policy, nil
+			},
+			NewPrefetcher: func(cfg memdef.Config) (prefetch.Prefetcher, error) {
+				return prefetch.NewPattern(prefetch.Scheme2, cfg.PatternMinUntouch)
+			},
+		},
+		{
+			Name: "random",
+			NewPolicy: func(_ memdef.Config, seed int64) (evict.Policy, error) {
+				return evict.NewRandom(seed), nil
+			},
+			NewPrefetcher: locality,
+		},
+		{
+			Name: "lru-10%",
+			NewPolicy: func(memdef.Config, int64) (evict.Policy, error) {
+				return evict.NewReservedLRU(0.10), nil
+			},
+			NewPrefetcher: locality,
+		},
+		{
+			Name: "hpe",
+			NewPolicy: func(cfg memdef.Config, _ int64) (evict.Policy, error) {
+				return evict.NewHPE(evict.HPEOptions{IntervalPages: cfg.IntervalPages}), nil
+			},
+			NewPrefetcher: locality,
+		},
+		{
+			Name:      "tree",
+			NewPolicy: func(memdef.Config, int64) (evict.Policy, error) { return evict.NewLRU(), nil },
+			NewPrefetcher: func(memdef.Config) (prefetch.Prefetcher, error) {
+				return prefetch.NewTree(), nil
+			},
+		},
+	}
+}
+
+// TestRegistryGoldenEquivalence runs the same keys through a registry-resolved
+// session and a direct-construction session and requires identical results —
+// cycles, statistics, and the full rendered instrumentation report.
+func TestRegistryGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := Config{Scale: 0.05, Warps: 32, Parallelism: 4}
+	reg := NewSession(cfg)    // canonical: registry-resolved setups
+	direct := NewSession(cfg) // overridden: pre-refactor direct construction
+	for _, su := range directSetups() {
+		direct.Register(su)
+	}
+
+	keys := []Key{
+		// fig3 rows: SRD across the prior-eviction setups.
+		{"SRD", "baseline", 75}, {"SRD", "random", 75}, {"SRD", "lru-10%", 75},
+		// fig8 rows: baseline vs cppe at both rates.
+		{"HSD", "baseline", 50}, {"HSD", "cppe", 50},
+		{"MRQ", "cppe", 75},
+		// ablations through the registry.
+		{"STN", "hpe", 75}, {"STN", "tree", 75},
+	}
+	for _, k := range keys {
+		a := reg.Run(k)
+		b := direct.Run(k)
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("%v: errors: registry=%v direct=%v", k, a.Err, b.Err)
+		}
+		if a.Cycles != b.Cycles || a.Accesses != b.Accesses || a.Crashed != b.Crashed {
+			t.Errorf("%v: registry (cycles=%d acc=%d) != direct (cycles=%d acc=%d)",
+				k, a.Cycles, a.Accesses, b.Cycles, b.Accesses)
+			continue
+		}
+		if a.UVM != b.UVM {
+			t.Errorf("%v: UVM stats diverge:\nregistry: %+v\ndirect:   %+v", k, a.UVM, b.UVM)
+		}
+		// The rendered report covers the policy trajectory and breakdown
+		// tables — any internal-state drift shows up here.
+		if ra, rb := reg.Describe(k), direct.Describe(k); ra != rb {
+			t.Errorf("%v: Describe output diverges:\n--- registry ---\n%s\n--- direct ---\n%s", k, ra, rb)
+		}
+	}
+}

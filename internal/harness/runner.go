@@ -10,12 +10,14 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/reproductions/cppe/internal/core"
 	"github.com/reproductions/cppe/internal/evict"
 	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/policy"
 	"github.com/reproductions/cppe/internal/prefetch"
 	"github.com/reproductions/cppe/internal/sm"
 	"github.com/reproductions/cppe/internal/stats"
@@ -127,6 +129,8 @@ type Result struct {
 	HPE *evict.HPEStats
 	// Pattern is non-nil when the setup used the pattern prefetcher.
 	Pattern *prefetch.PatternStats
+	// Learned is non-nil when the setup used the learned perceptron policy.
+	Learned *policy.LearnedStats
 }
 
 // Session caches simulation results across experiments.
@@ -156,7 +160,7 @@ func NewSession(cfg Config) *Session {
 	for _, su := range []core.Setup{
 		core.SetupBaseline, core.SetupCPPE, core.SetupCPPES1,
 		core.SetupRandom, core.SetupDisableOnFull, core.SetupHPE,
-		core.SetupTree,
+		core.SetupTree, core.SetupLearned,
 		core.SetupReservedLRU(0.10), core.SetupReservedLRU(0.20),
 		core.SetupMHPEProbe(),
 	} {
@@ -184,10 +188,35 @@ func (s *Session) Config() Config { return s.cfg }
 // Register adds (or replaces) a setup.
 func (s *Session) Register(su core.Setup) { s.setups[su.Name] = su }
 
-// Setup returns a registered setup.
+// Setup returns a registered or dynamically resolvable setup.
 func (s *Session) Setup(name string) (core.Setup, bool) {
-	su, ok := s.setups[name]
-	return su, ok
+	su, err := s.ResolveSetup(name)
+	return su, err == nil
+}
+
+// ResolveSetup returns the setup for name. Registered names win; otherwise an
+// "evict+prefetch" pair of registry names ("mhpe+locality", "learned+tree",
+// ...) resolves dynamically, so every registered policy combination is
+// addressable from the front-ends without a bespoke Setup definition. An
+// unknown half returns policy.ErrUnknownPolicy; a name that is neither
+// registered nor a pair returns ErrUnknownKey. Both are typed, so callers
+// (and Result.Err consumers) can classify with errors.Is.
+func (s *Session) ResolveSetup(name string) (core.Setup, error) {
+	if su, ok := s.setups[name]; ok {
+		return su, nil
+	}
+	ev, pf, ok := strings.Cut(name, "+")
+	if !ok {
+		return core.Setup{}, fmt.Errorf("%w: setup %q", ErrUnknownKey, name)
+	}
+	if _, err := policy.Lookup(policy.KindEviction, ev); err != nil {
+		return core.Setup{}, fmt.Errorf("harness: setup %q: %w", name, err)
+	}
+	if _, err := policy.Lookup(policy.KindPrefetch, pf); err != nil {
+		return core.Setup{}, fmt.Errorf("harness: setup %q: %w", name, err)
+	}
+	return core.FromRegistry(name,
+		fmt.Sprintf("registry pair: %s eviction + %s prefetch", ev, pf), ev, pf), nil
 }
 
 // capacityFor derives the GPU memory capacity in pages for a footprint and
@@ -335,9 +364,9 @@ func (s *Session) buildChecked(k Key, wantTraceHash uint64) (*built, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: benchmark %q", ErrUnknownKey, k.Bench)
 	}
-	setup, ok := s.setups[k.Setup]
-	if !ok {
-		return nil, fmt.Errorf("%w: setup %q", ErrUnknownKey, k.Setup)
+	setup, err := s.ResolveSetup(k.Setup)
+	if err != nil {
+		return nil, err
 	}
 	generated := s.generated(bench)
 	if wantTraceHash != 0 && generated.Fingerprint != wantTraceHash {
@@ -392,6 +421,10 @@ func (s *Session) collect(k Key, b *built, res sm.Result) Result {
 		st := p.Stats()
 		out.Pattern = &st
 	}
+	if l, ok := b.policy.(*policy.Learned); ok {
+		st := l.Stats()
+		out.Learned = &st
+	}
 	return out
 }
 
@@ -431,9 +464,9 @@ func (s *Session) RunTrace(tr *trace.Trace, setupName string, oversubPct int) (o
 			}
 		}
 	}()
-	setup, ok := s.setups[setupName]
-	if !ok {
-		return Result{Key: k, Crashed: true, Err: fmt.Errorf("%w: setup %q", ErrUnknownKey, setupName)}
+	setup, err := s.ResolveSetup(setupName)
+	if err != nil {
+		return Result{Key: k, Crashed: true, Err: err}
 	}
 	cfg := s.cfg.Base
 	cfg.MemoryPages = capacityFor(tr.FootprintPages, oversubPct)

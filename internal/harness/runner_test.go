@@ -7,6 +7,7 @@ import (
 
 	"github.com/reproductions/cppe/internal/evict"
 	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/policy"
 	"github.com/reproductions/cppe/internal/workload"
 )
 
@@ -59,6 +60,55 @@ func TestUnknownBenchOrSetupFailsTyped(t *testing.T) {
 		if Speedup(r, r) != 0 {
 			t.Errorf("%v: failed run must not yield a speedup", k)
 		}
+	}
+}
+
+// TestDynamicSetupPairsFailTyped: "<eviction>+<prefetcher>" setup names with
+// an unknown half classify as policy.ErrUnknownPolicy — distinguishable by
+// callers from a plain unknown setup (ErrUnknownKey) — and never panic.
+func TestDynamicSetupPairsFailTyped(t *testing.T) {
+	s := NewSession(Config{Scale: 0.05, Warps: 8})
+	cases := []struct {
+		setup string
+		want  error
+	}{
+		{"nosuch+locality", policy.ErrUnknownPolicy},
+		{"mhpe+nosuch", policy.ErrUnknownPolicy},
+		{"+", policy.ErrUnknownPolicy},
+		{"nosuch", ErrUnknownKey},
+		{"nosuch+also+nosuch", policy.ErrUnknownPolicy},
+	}
+	for _, tc := range cases {
+		if _, err := s.ResolveSetup(tc.setup); !errors.Is(err, tc.want) {
+			t.Errorf("ResolveSetup(%q) = %v, want errors.Is(%v)", tc.setup, err, tc.want)
+		}
+		r := s.Run(Key{"SRD", tc.setup, 50})
+		if !r.Crashed {
+			t.Errorf("%q: failed run not marked crashed", tc.setup)
+		}
+		if !errors.Is(r.Err, tc.want) {
+			t.Errorf("%q: Result.Err = %v, want errors.Is(%v)", tc.setup, r.Err, tc.want)
+		}
+	}
+}
+
+// TestDynamicSetupPairResolves: a well-formed pair of registered names is a
+// runnable setup even though it was never registered as one.
+func TestDynamicSetupPairResolves(t *testing.T) {
+	s := NewSession(Config{Scale: 0.05, Warps: 8})
+	su, err := s.ResolveSetup("true-lru+none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if su.Name != "true-lru+none" {
+		t.Fatalf("setup name = %q", su.Name)
+	}
+	r := s.Run(Key{"STN", "true-lru+none", 50})
+	if r.Err != nil {
+		t.Fatalf("dynamic pair run failed: %v", r.Err)
+	}
+	if r.Cycles == 0 || r.Accesses == 0 {
+		t.Fatalf("degenerate run: %+v", r)
 	}
 }
 

@@ -17,11 +17,14 @@ func sweepTestConfig() Config {
 
 // sweepTestKeys spans two workloads (two lockstep groups) and several setups
 // and rates, so the sweep path exercises grouping, lane completion at
-// different cycles, and crash-free multi-lane epochs.
+// different cycles, and crash-free multi-lane epochs. "learned" is in the set
+// deliberately: it reads machine state through policy.MachineView on every
+// victim selection, so lockstep-vs-solo equivalence here is the property test
+// that the view observes identical state on both execution paths.
 func sweepTestKeys() []Key {
 	var keys []Key
 	for _, b := range []string{"SRD", "HSD"} {
-		for _, su := range []string{"baseline", "cppe", "random"} {
+		for _, su := range []string{"baseline", "cppe", "random", "learned"} {
 			for _, pct := range []int{75, 50} {
 				keys = append(keys, Key{Bench: b, Setup: su, OversubPct: pct})
 			}

@@ -69,8 +69,8 @@ type Check struct {
 // examples/ and root API layers, which run outside the event loop.
 var simCore = []string{
 	"engine", "uvm", "sm", "tlb", "ptw", "pagetable", "cache", "dram",
-	"xbus", "evict", "prefetch", "harness", "audit", "inject", "workload",
-	"stats", "snapshot", "sweep",
+	"xbus", "evict", "prefetch", "policy", "harness", "audit", "inject",
+	"workload", "stats", "snapshot", "sweep",
 }
 
 // Checks returns the full analyzer suite.

@@ -1,0 +1,103 @@
+package policy
+
+import (
+	"github.com/reproductions/cppe/internal/evict"
+	"github.com/reproductions/cppe/internal/prefetch"
+)
+
+// The in-tree policies, registered at package load. Each factory constructs
+// exactly what the pre-registry setup wiring constructed, so registry-resolved
+// setups reproduce the historical goldens byte for byte.
+func init() {
+	evictions := []Registration{
+		{
+			Name: "lru", Version: APIVersion, Kind: KindEviction,
+			Description: "driver-visible recency LRU (baseline eviction, Ganguly et al. [16])",
+			NewEviction: func(Env) (evict.Policy, error) { return evict.NewLRU(), nil },
+		},
+		{
+			Name: "true-lru", Version: APIVersion, Kind: KindEviction,
+			Description: "oracle GPU-touch-recency LRU (visibility ablation)",
+			NewEviction: func(Env) (evict.Policy, error) { return evict.NewTrueLRU(), nil },
+		},
+		{
+			Name: "random", Version: APIVersion, Kind: KindEviction,
+			Description: "uniform random victim (Zheng et al. [9], Fig. 3/9)",
+			NewEviction: func(env Env) (evict.Policy, error) { return evict.NewRandom(env.Seed), nil },
+		},
+		{
+			Name: "hpe", Version: APIVersion, Kind: KindEviction,
+			Description: "original hierarchical page eviction (Yu et al. [14][15])",
+			NewEviction: func(env Env) (evict.Policy, error) {
+				return evict.NewHPE(evict.HPEOptions{IntervalPages: env.Config.IntervalPages}), nil
+			},
+		},
+		{
+			Name: "mhpe", Version: APIVersion, Kind: KindEviction,
+			Description: "modified HPE, the paper's eviction half (Algorithm 1)",
+			NewEviction: func(env Env) (evict.Policy, error) {
+				return evict.NewMHPE(evict.MHPEOptions{
+					T1: env.Config.T1, T2: env.Config.T2, T3: env.Config.T3,
+					IntervalPages: env.Config.IntervalPages,
+				}), nil
+			},
+		},
+		{
+			Name: "lru-10%", Version: APIVersion, Kind: KindEviction,
+			Description: "reserved LRU, top 10% of the chain protected (Fig. 3/9)",
+			NewEviction: func(Env) (evict.Policy, error) { return evict.NewReservedLRU(0.10), nil },
+		},
+		{
+			Name: "lru-20%", Version: APIVersion, Kind: KindEviction,
+			Description: "reserved LRU, top 20% of the chain protected (Fig. 3/9)",
+			NewEviction: func(Env) (evict.Policy, error) { return evict.NewReservedLRU(0.20), nil },
+		},
+		{
+			Name: "learned", Version: APIVersion, Kind: KindEviction,
+			Description: "seeded deterministic perceptron ranking evict candidates over pattern-window features",
+			NewEviction: func(env Env) (evict.Policy, error) { return NewLearned(env.Seed), nil },
+		},
+	}
+	prefetchers := []Registration{
+		{
+			Name: "locality", Version: APIVersion, Kind: KindPrefetch,
+			Description: "sequential-local 64 KiB-block prefetch (baseline, Zheng et al. [9])",
+			NewPrefetch: func(Env) (prefetch.Prefetcher, error) { return prefetch.NewLocality(), nil },
+		},
+		{
+			Name: "tree", Version: APIVersion, Kind: KindPrefetch,
+			Description: "tree-based neighborhood prefetch (NVIDIA driver model, Ganguly et al. [16])",
+			NewPrefetch: func(Env) (prefetch.Prefetcher, error) { return prefetch.NewTree(), nil },
+		},
+		{
+			Name: "none", Version: APIVersion, Kind: KindPrefetch,
+			Description: "no prefetch: one page per fault (HPE ablation)",
+			NewPrefetch: func(Env) (prefetch.Prefetcher, error) { return prefetch.NewNone(), nil },
+		},
+		{
+			Name: "disable-on-full", Version: APIVersion, Kind: KindPrefetch,
+			Description: "locality prefetch until memory fills, then single pages (Li et al. [11])",
+			NewPrefetch: func(Env) (prefetch.Prefetcher, error) { return prefetch.NewDisableOnFull(), nil },
+		},
+		{
+			Name: "pattern-s1", Version: APIVersion, Kind: KindPrefetch,
+			Description: "access pattern-aware prefetch, deletion Scheme-1 (Fig. 7)",
+			NewPrefetch: func(env Env) (prefetch.Prefetcher, error) {
+				return prefetch.NewPattern(prefetch.Scheme1, env.Config.PatternMinUntouch)
+			},
+		},
+		{
+			Name: "pattern-s2", Version: APIVersion, Kind: KindPrefetch,
+			Description: "access pattern-aware prefetch, deletion Scheme-2 (this paper)",
+			NewPrefetch: func(env Env) (prefetch.Prefetcher, error) {
+				return prefetch.NewPattern(prefetch.Scheme2, env.Config.PatternMinUntouch)
+			},
+		},
+	}
+	for _, reg := range evictions {
+		MustRegister(reg)
+	}
+	for _, reg := range prefetchers {
+		MustRegister(reg)
+	}
+}

@@ -1,0 +1,201 @@
+package policy
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/snapshot"
+)
+
+// driveResident makes chunks 0..n-1 resident in the learned policy (fault +
+// migrate, as the driver would).
+func driveResident(l *Learned, n int) {
+	for c := 0; c < n; c++ {
+		l.OnFault(memdef.ChunkID(c))
+		l.OnMigrate(memdef.ChunkID(c), memdef.FullBitmap)
+	}
+}
+
+func noneExcluded(memdef.ChunkID) bool { return false }
+
+// TestLearnedDegeneratesToOrderWithZeroSignal: with the seeded prior, less
+// touched and more untouched candidates score higher; without any view or
+// touches, the rank feature alone decides, and its negative weight prefers
+// the LRU end.
+func TestLearnedLRUPrior(t *testing.T) {
+	l := NewLearned(1) // seed chosen so the first selections do not explore
+	driveResident(l, 8)
+	v, ok := l.SelectVictim(noneExcluded)
+	if !ok {
+		t.Fatal("no victim")
+	}
+	if v != 0 {
+		t.Fatalf("victim = %v, want the LRU-most chunk 0", v)
+	}
+	if l.ChainLen() != 8 {
+		t.Fatalf("ChainLen = %d", l.ChainLen())
+	}
+	l.OnEvicted(v, memdef.ChunkPages)
+	if l.ChainLen() != 7 {
+		t.Fatalf("ChainLen after evict = %d", l.ChainLen())
+	}
+}
+
+// TestLearnedWrongEvictionDemotes: re-faulting a ringed eviction counts as
+// wrong and moves the weights.
+func TestLearnedWrongEvictionDemotes(t *testing.T) {
+	l := NewLearned(1)
+	driveResident(l, 8)
+	v, ok := l.SelectVictim(noneExcluded)
+	if !ok {
+		t.Fatal("no victim")
+	}
+	l.OnEvicted(v, 4)
+	before := l.Stats()
+	if before.Evictions != 1 {
+		t.Fatalf("Evictions = %d", before.Evictions)
+	}
+	l.OnFault(v) // the evicted chunk is needed again
+	after := l.Stats()
+	if after.WrongEvictions != 1 {
+		t.Fatalf("WrongEvictions = %d", after.WrongEvictions)
+	}
+	if after.Demotions != 1 {
+		t.Fatalf("Demotions = %d (weights should have moved inside the margin)", after.Demotions)
+	}
+	if after.Weights == before.Weights {
+		t.Fatal("weights unchanged after a demotion")
+	}
+	// The same fault must not be double-counted.
+	l.OnFault(v)
+	if got := l.Stats().WrongEvictions; got != 1 {
+		t.Fatalf("WrongEvictions after second fault = %d", got)
+	}
+}
+
+// TestLearnedSnapshotRoundTrip: encode → decode must reproduce weights, ring,
+// rng position, and stats exactly.
+func TestLearnedSnapshotRoundTrip(t *testing.T) {
+	a := NewLearned(42)
+	driveResident(a, 12)
+	for i := 0; i < 6; i++ {
+		if v, ok := a.SelectVictim(noneExcluded); ok {
+			a.OnEvicted(v, i%3)
+		}
+		a.OnFault(memdef.ChunkID(i))
+		a.OnTouch(memdef.ChunkID(i), i)
+	}
+	w := snapshot.NewWriter(1 << 10)
+	a.EncodeState(w)
+	frame, err := w.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewLearned(0) // different seed: every field must come from the frame
+	r, err := snapshot.Open(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.DecodeState(r)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if a.rng != b.rng || a.w != b.w || a.ring != b.ring || a.ringNext != b.ringNext {
+		t.Fatal("model state not reproduced")
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats differ: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	// And the next decision matches.
+	va, oka := a.SelectVictim(noneExcluded)
+	vb, okb := b.SelectVictim(noneExcluded)
+	if va != vb || oka != okb {
+		t.Fatalf("post-restore decisions differ: %v/%v vs %v/%v", va, oka, vb, okb)
+	}
+}
+
+// TestLearnedDecodeRejectsBadCursor: a corrupt ring cursor is a structured
+// decode failure, not a panic or silent acceptance.
+func TestLearnedDecodeRejectsBadCursor(t *testing.T) {
+	a := NewLearned(7)
+	w := snapshot.NewWriter(1 << 10)
+	w.Mark("PLRN")
+	a.chain.Encode(w)
+	w.PutU64(a.rng.s)
+	for _, wi := range a.w {
+		w.PutI64(wi)
+	}
+	w.PutInt(ringCap + 3) // out of range
+	frame, err := w.Frame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := snapshot.Open(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewLearned(7)
+	b.DecodeState(r)
+	if r.Err() == nil {
+		t.Fatal("decode accepted an out-of-range ring cursor")
+	}
+}
+
+// TestLearnedViewFeatures: with a view bound, untouched/pressure/recycled
+// features come from machine state and steer the score.
+func TestLearnedViewFeatures(t *testing.T) {
+	l := NewLearned(1)
+	view := &fakeView{
+		resident: map[memdef.ChunkID]memdef.PageBitmap{},
+		touched:  map[memdef.ChunkID]memdef.PageBitmap{},
+		capacity: 64 * memdef.ChunkPages,
+	}
+	l.BindView(view)
+	driveResident(l, 4)
+	for c := 0; c < 4; c++ {
+		view.resident[memdef.ChunkID(c)] = memdef.FullBitmap
+	}
+	// Chunk 1 is fully untouched; the prior's positive untouched weight
+	// (+2 x 256) must outscore its rank-1 penalty (-4 x 64) and beat the
+	// LRU-most chunk 0.
+	for c := 0; c < 4; c++ {
+		if c != 1 {
+			view.touched[memdef.ChunkID(c)] = memdef.FullBitmap
+		}
+	}
+	v, ok := l.SelectVictim(noneExcluded)
+	if !ok {
+		t.Fatal("no victim")
+	}
+	if v != 1 {
+		t.Fatalf("victim = %v, want the fully-untouched chunk 1", v)
+	}
+}
+
+// fakeView is a minimal MachineView for feature tests.
+type fakeView struct {
+	resident map[memdef.ChunkID]memdef.PageBitmap
+	touched  map[memdef.ChunkID]memdef.PageBitmap
+	window   []EvictionRecord
+	capacity int
+	cycle    memdef.Cycle
+}
+
+func (v *fakeView) Cycle() memdef.Cycle { return v.cycle }
+func (v *fakeView) CapacityPages() int  { return v.capacity }
+func (v *fakeView) ResidentPages() int {
+	n := 0
+	for _, bm := range v.resident {
+		n += bm.Count()
+	}
+	return n
+}
+func (v *fakeView) MemoryFull() bool { return false }
+func (v *fakeView) Resident(p memdef.PageNum) bool {
+	return v.resident[p.Chunk()].Has(p.Index())
+}
+func (v *fakeView) ChunkResident(c memdef.ChunkID) memdef.PageBitmap { return v.resident[c] }
+func (v *fakeView) ChunkTouched(c memdef.ChunkID) memdef.PageBitmap  { return v.touched[c] }
+func (v *fakeView) RecentEvictions() []EvictionRecord {
+	return append([]EvictionRecord(nil), v.window...)
+}

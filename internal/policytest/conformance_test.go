@@ -1,0 +1,44 @@
+package policytest_test
+
+import (
+	"testing"
+
+	"github.com/reproductions/cppe/internal/policy"
+	"github.com/reproductions/cppe/internal/policytest"
+)
+
+// TestEvictionConformance runs every registered eviction policy — the nine
+// built-ins plus learned — through the full conformance kit.
+func TestEvictionConformance(t *testing.T) {
+	names := policy.EvictionNames()
+	if len(names) < 8 {
+		t.Fatalf("only %d eviction policies registered: %v", len(names), names)
+	}
+	for _, name := range names {
+		reg, err := policy.Lookup(policy.KindEviction, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			policytest.Run(t, reg.NewEviction)
+		})
+	}
+}
+
+// TestPrefetchConformance runs every registered prefetcher through the
+// prefetch conformance kit.
+func TestPrefetchConformance(t *testing.T) {
+	names := policy.PrefetchNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d prefetchers registered: %v", len(names), names)
+	}
+	for _, name := range names {
+		reg, err := policy.Lookup(policy.KindPrefetch, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			policytest.RunPrefetch(t, reg.NewPrefetch)
+		})
+	}
+}

@@ -35,7 +35,7 @@ import (
 
 // Version is the current checkpoint format version. Any change to any
 // subsystem encoder must bump it; decoders reject every other version.
-const Version uint16 = 1
+const Version uint16 = 2
 
 var magic = [4]byte{'C', 'P', 'P', 'E'}
 

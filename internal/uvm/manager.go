@@ -27,6 +27,7 @@ import (
 	"github.com/reproductions/cppe/internal/evict"
 	"github.com/reproductions/cppe/internal/memdef"
 	"github.com/reproductions/cppe/internal/pagetable"
+	"github.com/reproductions/cppe/internal/policy"
 	"github.com/reproductions/cppe/internal/prefetch"
 	"github.com/reproductions/cppe/internal/ptw"
 	"github.com/reproductions/cppe/internal/tlb"
@@ -312,6 +313,14 @@ type Manager struct {
 	inflightPages int
 	pendingFaults int
 
+	// evictLog is the pattern window exposed through policy.MachineView: a
+	// FIFO ring of the last WindowSize evictions (chunk, touch pattern,
+	// untouch level, cycle). It is checkpointed machine state: view-driven
+	// policies read it, so restores must reproduce it exactly.
+	evictLog     [policy.WindowSize]policy.EvictionRecord
+	evictLogNext int
+	evictLogLen  int
+
 	// aud, when non-nil, receives scoped transition checks at migration
 	// commits and evictions (the periodic full checks are engine-driven).
 	aud *audit.Auditor
@@ -362,6 +371,9 @@ func New(eng *engine.Engine, cfg memdef.Config, link *xbus.Link, policy evict.Po
 	}
 	m.l2ports = engine.NewSemaphore(eng, ports)
 	m.walker = ptw.New(eng, cfg, m.table, walkMem)
+	// View-driven policies get the narrow machine view bound exactly once,
+	// before any event callback (see view.go).
+	m.bindViews()
 	return m
 }
 
@@ -999,6 +1011,9 @@ func (m *Manager) evictChunk(victim memdef.ChunkID) bool {
 	st.smMask = 0
 	st.smMaskAll = false
 
+	m.recordEviction(policy.EvictionRecord{
+		Chunk: victim, Touched: touched, Untouch: untouch, Cycle: m.eng.Now(),
+	})
 	m.policy.OnEvicted(victim, untouch)
 	m.pf.OnEvict(victim, touched, untouch)
 	m.auditTransition("eviction")

@@ -175,6 +175,18 @@ func (m *Manager) Encode(w *snapshot.Writer) {
 		w.PutU64(uint64(m.stats.Breakdown.Cycles[p]))
 	}
 
+	// Pattern window (policy.MachineView.RecentEvictions). View-driven
+	// policies read it, so restores must reproduce the ring exactly.
+	w.Mark("EVLG")
+	w.PutInt(m.evictLogNext)
+	w.PutInt(m.evictLogLen)
+	for _, rec := range m.evictLog {
+		w.PutU64(uint64(rec.Chunk))
+		w.PutU16(uint16(rec.Touched))
+		w.PutInt(rec.Untouch)
+		w.PutU64(uint64(rec.Cycle))
+	}
+
 	// Policy and prefetcher state. Names are cross-checks against the
 	// restoring setup's construction.
 	w.PutString(m.policy.Name())
@@ -390,6 +402,26 @@ func (m *Manager) Decode(r *snapshot.Reader, linkDone func(tag engine.Tag) (func
 	for p := 0; p < int(pathCount); p++ {
 		m.stats.Breakdown.Count[p] = r.GetU64()
 		m.stats.Breakdown.Cycles[p] = memdef.Cycle(r.GetU64())
+	}
+
+	// Pattern window.
+	r.ExpectMark("EVLG")
+	next := r.GetInt()
+	ringLen := r.GetInt()
+	if r.Err() != nil {
+		return
+	}
+	if next < 0 || next >= len(m.evictLog) || ringLen < 0 || ringLen > len(m.evictLog) {
+		r.Failf("uvm: eviction log cursor %d/%d out of range", next, ringLen)
+		return
+	}
+	m.evictLogNext = next
+	m.evictLogLen = ringLen
+	for i := range m.evictLog {
+		m.evictLog[i].Chunk = memdef.ChunkID(r.GetU64())
+		m.evictLog[i].Touched = memdef.PageBitmap(r.GetU16())
+		m.evictLog[i].Untouch = r.GetInt()
+		m.evictLog[i].Cycle = memdef.Cycle(r.GetU64())
 	}
 
 	// Policy and prefetcher.

@@ -1,0 +1,90 @@
+package uvm
+
+import (
+	"github.com/reproductions/cppe/internal/memdef"
+	"github.com/reproductions/cppe/internal/policy"
+)
+
+// machineView is the driver's implementation of policy.MachineView: a
+// read-only window over the manager handed to view-driven policies. Every
+// method is a pure observation of driver state — the view holds no state of
+// its own and exposes no mutators, so a policy cannot perturb the machine
+// through it.
+type machineView struct {
+	m *Manager
+}
+
+var _ policy.MachineView = machineView{}
+
+// Cycle implements policy.MachineView.
+func (v machineView) Cycle() memdef.Cycle { return v.m.eng.Now() }
+
+// CapacityPages implements policy.MachineView.
+func (v machineView) CapacityPages() int { return v.m.capacityPages }
+
+// ResidentPages implements policy.MachineView.
+func (v machineView) ResidentPages() int { return v.m.usedPages }
+
+// MemoryFull implements policy.MachineView.
+func (v machineView) MemoryFull() bool { return v.m.memoryFull }
+
+// Resident implements policy.MachineView.
+func (v machineView) Resident(p memdef.PageNum) bool { return v.m.isResidentOrInflight(p) }
+
+// ChunkResident implements policy.MachineView.
+func (v machineView) ChunkResident(c memdef.ChunkID) memdef.PageBitmap {
+	if st := v.m.lookupChunk(c); st != nil {
+		return st.resident
+	}
+	return 0
+}
+
+// ChunkTouched implements policy.MachineView.
+func (v machineView) ChunkTouched(c memdef.ChunkID) memdef.PageBitmap {
+	if st := v.m.lookupChunk(c); st != nil {
+		return st.touched
+	}
+	return 0
+}
+
+// RecentEvictions implements policy.MachineView: a fresh oldest-first copy
+// of the driver's pattern window.
+func (v machineView) RecentEvictions() []policy.EvictionRecord {
+	m := v.m
+	if m.evictLogLen == 0 {
+		return nil
+	}
+	out := make([]policy.EvictionRecord, 0, m.evictLogLen)
+	start := m.evictLogNext - m.evictLogLen
+	if start < 0 {
+		start += len(m.evictLog)
+	}
+	for i := 0; i < m.evictLogLen; i++ {
+		out = append(out, m.evictLog[(start+i)%len(m.evictLog)])
+	}
+	return out
+}
+
+// View returns the manager's policy.MachineView — the same view bound to
+// view-driven policies at construction (tests, diagnostics).
+func (m *Manager) View() policy.MachineView { return machineView{m} }
+
+// bindViews hands the machine view to the policy and prefetcher if they ask
+// for one (policy.ViewBinder). Called once from New, before the first event.
+func (m *Manager) bindViews() {
+	if vb, ok := m.policy.(policy.ViewBinder); ok {
+		vb.BindView(machineView{m})
+	}
+	if vb, ok := m.pf.(policy.ViewBinder); ok {
+		vb.BindView(machineView{m})
+	}
+}
+
+// recordEviction appends one record to the bounded pattern window.
+func (m *Manager) recordEviction(rec policy.EvictionRecord) {
+	m.evictLog[m.evictLogNext] = rec
+	m.evictLogNext = (m.evictLogNext + 1) % len(m.evictLog)
+	if m.evictLogLen < len(m.evictLog) {
+		m.evictLogLen++
+	}
+}

@@ -88,8 +88,9 @@ func (s *Session) validate(req Request) error {
 	if _, ok := workload.ByAbbr(req.Benchmark); !ok {
 		return fmt.Errorf("cppe: unknown benchmark %q (see Benchmarks())", req.Benchmark)
 	}
-	if _, ok := s.h.Setup(req.Setup); !ok {
-		return fmt.Errorf("cppe: unknown setup %q (see Setups())", req.Setup)
+	if _, err := s.h.ResolveSetup(req.Setup); err != nil {
+		// Typed: errors.Is(err, ErrUnknownPolicy) for a bad "ev+pf" half.
+		return fmt.Errorf("cppe: %w (see Setups, EvictionPolicies, Prefetchers)", err)
 	}
 	if req.Oversubscription < 0 || req.Oversubscription > 100 {
 		return fmt.Errorf("cppe: oversubscription %d%% out of [0,100]", req.Oversubscription)
