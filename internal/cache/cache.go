@@ -49,6 +49,7 @@ type Cache struct {
 	// The hint is purely an accelerator — a stale hint only fails the
 	// one-compare check and falls through to the scan, so it is not
 	// checkpointed and never affects results.
+	//cppelint:statecov pure accelerator: a stale hint fails its one-compare check and falls through to the scan with identical results
 	hint []uint16
 	tick uint64
 

@@ -47,6 +47,7 @@ type channel struct {
 
 // DRAM is the multi-channel memory system.
 type DRAM struct {
+	//cppelint:statecov wiring reference to the engine, rewired at construction
 	eng      *engine.Engine
 	cfg      memdef.Config
 	channels []*channel

@@ -68,18 +68,23 @@ type bucket struct {
 
 // Engine is a deterministic discrete-event scheduler.
 type Engine struct {
-	now     memdef.Cycle
-	seq     uint64
-	fired   uint64
-	budget  uint64 // optional hard cap on events per Run; 0 = unlimited
+	now   memdef.Cycle
+	seq   uint64
+	fired uint64
+	//cppelint:statecov harness run configuration reapplied on restore, not simulated state
+	budget uint64 // optional hard cap on events per Run; 0 = unlimited
+	//cppelint:statecov derived queue population; rebuilt as components re-schedule their events in two-phase restore (§10.2)
 	pending int
 
 	// ring holds events with at in [now, now+ringWindow), bucketed by
 	// at&ringMask. Because ring events always satisfy that half-open bound
 	// (scheduling only ever sees a non-decreasing now), a slot holds events
 	// of exactly one cycle at a time.
-	ring      [ringWindow]bucket
-	ringBits  [ringWindow / 64]uint64 // occupancy bitmap over ring slots
+	//cppelint:statecov event queue is rebuilt by two-phase restore: components re-schedule in-flight events (§10.2)
+	ring [ringWindow]bucket
+	//cppelint:statecov occupancy bitmap over ring slots, rebuilt with the ring in two-phase restore (§10.2)
+	ringBits [ringWindow / 64]uint64
+	//cppelint:statecov rebuilt with the ring in two-phase restore (§10.2)
 	ringCount int
 
 	// overflow holds events at or beyond now+ringWindow, ordered by
@@ -87,34 +92,45 @@ type Engine struct {
 	// every ring event, because entering the ring requires a strictly later
 	// scheduling time; popping the heap before the bucket therefore
 	// preserves global FIFO tie-breaking.
+	//cppelint:statecov rebuilt with the ring in two-phase restore (§10.2)
 	overflow []*eventNode
 
-	free *eventNode // node pool
+	//cppelint:statecov node pool is allocation recycling, not simulated state
+	free *eventNode
 
 	// Periodic hook (integrity auditing): fn runs between events whenever at
 	// least periodicEvery cycles of simulated time have passed since its last
 	// invocation. Running outside the event queue keeps the hook invisible to
 	// the simulation — no extra events, no seq perturbation, and the run still
 	// ends at the cycle of its last real event.
+	//cppelint:statecov audit-hook wiring re-armed when the machine is rebuilt for restore
 	periodicEvery memdef.Cycle
 	periodicLast  memdef.Cycle
-	periodicFn    func()
+	//cppelint:statecov audit-hook wiring re-armed when the machine is rebuilt for restore
+	periodicFn func()
 
 	// No-progress watchdog: if wdEvery consecutive events fire without the
 	// frontier cycle advancing and more than wdWindow of wall-clock time
 	// passes, Run returns ErrNoProgress (a same-cycle livelock that the event
 	// budget would only catch millions of events later).
-	wdEvery    uint64
-	wdWindow   time.Duration
-	wdCount    uint64
-	wdCycle    memdef.Cycle
+	//cppelint:statecov watchdog configuration re-armed when the machine is rebuilt for restore
+	wdEvery uint64
+	//cppelint:statecov watchdog configuration re-armed when the machine is rebuilt for restore
+	wdWindow time.Duration
+	//cppelint:statecov watchdog scratch compares wall time against wall time; never simulated state
+	wdCount uint64
+	//cppelint:statecov watchdog scratch compares wall time against wall time; never simulated state
+	wdCycle memdef.Cycle
+	//cppelint:statecov watchdog scratch compares wall time against wall time; never simulated state
 	wdDeadline time.Time
 
 	// Pause boundary: when armed, Run returns ErrPaused between events as
 	// soon as the next pending event lies beyond pauseAt. Every event at or
 	// before pauseAt has then fired, so the machine state is exactly the
 	// state "at the end of cycle pauseAt" — a checkpointable boundary.
-	pauseAt  memdef.Cycle
+	//cppelint:statecov pause boundary re-armed per RunUntil call; checkpoints are taken exactly at this boundary
+	pauseAt memdef.Cycle
+	//cppelint:statecov pause boundary re-armed per RunUntil call; checkpoints are taken exactly at this boundary
 	pauseSet bool
 }
 
@@ -562,6 +578,7 @@ func eventLess(a, b *eventNode) bool {
 // time. Acquire returns the cycle at which a job of the given duration,
 // requested now, will finish, advancing the resource's horizon.
 type Resource struct {
+	//cppelint:statecov wiring reference to the engine, rewired at construction
 	eng  *Engine
 	free memdef.Cycle // next cycle at which the resource is idle
 	name string

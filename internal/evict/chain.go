@@ -36,9 +36,11 @@ type Entry struct {
 // Chain is the doubly linked chunk chain. Head is the LRU end, tail the MRU
 // end. It supports O(1) insertion/removal and lookup by chunk.
 type Chain struct {
+	//cppelint:statecov tail is rebuilt by PushTail while Decode replays the encoded head-to-tail order
 	head, tail *Entry
-	index      map[memdef.ChunkID]*Entry
-	n          int
+	//cppelint:statecov lookup index repopulated entry by entry as Decode replays PushTail
+	index map[memdef.ChunkID]*Entry
+	n     int
 }
 
 // NewChain returns an empty chain.

@@ -33,8 +33,9 @@ func (r *rng64) Intn(n int) int {
 // it as a thrash-resistant alternative to LRU; the paper uses it in Fig. 3
 // and Fig. 9 coupled with the locality prefetcher.
 type Random struct {
-	rng   rng64
-	ids   []memdef.ChunkID
+	rng rng64
+	ids []memdef.ChunkID
+	//cppelint:statecov position index rebuilt from the encoded ids in DecodeState
 	where map[memdef.ChunkID]int
 }
 

@@ -67,7 +67,7 @@ func (s *Session) writeCheckpoint(path string, k Key, b *built) error {
 		return fmt.Errorf("harness: checkpoint %v: %w", k, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+		_ = os.Remove(tmp) // best-effort cleanup; a leftover is re-discarded on the next run
 		return fmt.Errorf("harness: checkpoint %v: %w", k, err)
 	}
 	return nil
@@ -132,20 +132,20 @@ func (s *Session) runCheckpointedFresh(k Key, path string, every memdef.Cycle) (
 // fresh-run fallback hands a later resume a simulation it must not continue.
 // A half-written temporary from a killed writeCheckpoint is always removed.
 func (s *Session) discardStaleCheckpoint(k Key, path string) {
-	os.Remove(path + ".tmp")
+	_ = os.Remove(path + ".tmp") // best-effort cleanup; a leftover is re-discarded on the next run
 	env, err := readEnvelope(path)
 	switch {
 	case errors.Is(err, os.ErrNotExist):
 		return
 	case err != nil:
 		// Unreadable, corrupt, or truncated: unusable by definition.
-		os.Remove(path)
+		_ = os.Remove(path) // best-effort cleanup; a leftover is re-discarded on the next run
 		return
 	}
 	if env.key != k ||
 		env.scale != s.cfg.Scale || env.warps != s.cfg.Warps ||
 		env.app != s.cfg.AccessesPerPage || env.seed != s.cfg.Seed {
-		os.Remove(path)
+		_ = os.Remove(path) // best-effort cleanup; a leftover is re-discarded on the next run
 	}
 }
 
@@ -320,8 +320,10 @@ func (s *Session) WarmCheckpointed(keys []Key, dir string, every memdef.Cycle) e
 			defer func() { <-sem }()
 			// RunResumable owns the whole lifecycle: resume-or-fresh with
 			// stale-checkpoint removal, periodic checkpoints, and cleanup on
-			// terminal outcomes. With a nil stop hook it never parks.
-			s.RunResumable(k, CheckpointPath(dir, k), every, nil)
+			// terminal outcomes. With a nil stop hook it never parks. Warm-up
+			// is best-effort: a failed run is not cached, keeps its
+			// checkpoint, and reports its error when the key is requested.
+			_, _ = s.RunResumable(k, CheckpointPath(dir, k), every, nil)
 		}()
 	}
 	wg.Wait()

@@ -113,8 +113,8 @@ func (s *Session) RunResumable(k Key, path string, every memdef.Cycle, stop func
 	if !out.Crashed || out.Err == nil {
 		// Terminal simulation outcome (including modeled thrash aborts): the
 		// checkpoint has served its purpose.
-		os.Remove(path)
-		os.Remove(path + ".tmp")
+		_ = os.Remove(path)          // best-effort cleanup; a leftover is re-discarded on the next run
+		_ = os.Remove(path + ".tmp") // best-effort cleanup; a leftover is re-discarded on the next run
 	}
 	return out, nil
 }
@@ -162,8 +162,8 @@ func (s *Session) resumeOrBuild(k Key, path string) (*built, error) {
 		err = fmt.Errorf("%w: checkpoint is for %v, not %v", ErrCheckpointMismatch, env.key, k)
 	}
 	if !errors.Is(err, os.ErrNotExist) {
-		os.Remove(path)
-		os.Remove(path + ".tmp")
+		_ = os.Remove(path)          // best-effort cleanup; a leftover is re-discarded on the next run
+		_ = os.Remove(path + ".tmp") // best-effort cleanup; a leftover is re-discarded on the next run
 	}
 	return s.build(k)
 }

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkDetReach closes the cross-package hole in the per-package determinism
+// passes: mapiter/wallclock/globalrand/gofreeze scan simulation-core packages
+// directly, but a sim-core function that calls into a package *outside* that
+// scope (memdef, core, trace, the root API — or any future helper package)
+// can transitively reach nondeterminism the per-package passes never see.
+// detreach walks the static call graph from every sim-core function: a call
+// whose downstream (module-local, non-sim-core) closure contains a wall-clock
+// read, a package-level math/rand call, a map iteration, or a goroutine
+// spawn is flagged at the sim-core call site, with the offending path spelled
+// out. Calls through interfaces fan out to every module-local implementation
+// (sound over-approximation); standard-library internals are out of scope —
+// the contract governs this module's code.
+func checkDetReach(pkg *Package, ctx *checkContext) {
+	if pkg.Broken {
+		return
+	}
+	d := &detReach{prog: ctx.prog, home: pkg.ImportPath, memo: make(map[*types.Func]*ndPath)}
+	for _, fd := range sortedFuncDecls(pkg) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, target := range ctx.prog.resolveCall(pkg, call) {
+				if !d.downstream(target) {
+					continue
+				}
+				if p := d.dirtyPath(target); p != nil {
+					ctx.reportNode(pkg, call, "call to %s reaches nondeterminism outside the linted scope: %s", qualifiedName(target), p)
+					break // one diagnostic per call site
+				}
+			}
+			return true
+		})
+	}
+}
+
+// detReach memoizes downstream reachability for one package's run.
+type detReach struct {
+	prog *Program
+	home string // import path of the package being linted
+	memo map[*types.Func]*ndPath
+}
+
+// ndPath is a found path to a nondeterminism site: the chain of functions
+// walked and the site description at its end. A nil *ndPath means clean.
+type ndPath struct {
+	chain []string
+	site  string
+}
+
+func (p *ndPath) String() string {
+	return strings.Join(p.chain, " -> ") + " " + p.site
+}
+
+// downstream reports whether fn is a module-local function outside both the
+// sim-core scope and the package currently being linted (whose own bodies the
+// per-package passes already scan).
+func (d *detReach) downstream(fn *types.Func) bool {
+	fpkg := d.prog.packageOf(fn)
+	if fpkg == nil || fpkg.ImportPath == d.home {
+		return false
+	}
+	return !d.prog.isSimCorePath(fpkg.ImportPath)
+}
+
+// dirtyPath returns a path from fn to a nondeterminism site within the
+// downstream closure, or nil if the closure is clean. Results are memoized;
+// a cycle in the call graph is treated as clean on re-entry (the first entry
+// owns the verdict).
+func (d *detReach) dirtyPath(fn *types.Func) *ndPath {
+	if p, ok := d.memo[fn]; ok {
+		return p
+	}
+	d.memo[fn] = nil // cycle guard: re-entrant lookups see "clean so far"
+	fb := d.prog.funcs[fn]
+	if fb == nil {
+		return nil
+	}
+	if site := ndSiteIn(fb); site != "" {
+		p := &ndPath{chain: []string{qualifiedName(fn)}, site: site}
+		d.memo[fn] = p
+		return p
+	}
+	for _, callee := range d.prog.calleesOf(fn) {
+		if !d.downstream(callee) {
+			// Back-edges into sim-core or the home package are covered by
+			// those packages' own per-package passes.
+			continue
+		}
+		if sub := d.dirtyPath(callee); sub != nil {
+			p := &ndPath{chain: append([]string{qualifiedName(fn)}, sub.chain...), site: sub.site}
+			d.memo[fn] = p
+			return p
+		}
+	}
+	return nil
+}
+
+// ndSiteIn scans one function body for a direct nondeterminism site and
+// returns its description ("" when clean). The sites mirror the per-package
+// passes: wall-clock reads, package-level math/rand, map iteration, go
+// statements.
+func ndSiteIn(fb *funcBody) string {
+	pkg := fb.pkg
+	site := ""
+	ast.Inspect(fb.decl.Body, func(n ast.Node) bool {
+		if site != "" {
+			return false
+		}
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			site = "spawns a goroutine"
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[s.X]; ok && tv.Type != nil {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					site = "ranges over a map"
+				}
+			}
+		case *ast.SelectorExpr:
+			if isPkgFunc(pkg, s, "time", wallClockFuncs) {
+				site = "reads the wall clock (time." + s.Sel.Name + ")"
+			} else if !globalRandAllow[s.Sel.Name] && (isPkgIdent(pkg, s, "math/rand") || isPkgIdent(pkg, s, "math/rand/v2")) {
+				if _, isFunc := pkg.Info.Uses[s.Sel].(*types.Func); isFunc {
+					site = "calls global rand." + s.Sel.Name
+				}
+			}
+		}
+		return true
+	})
+	return site
+}

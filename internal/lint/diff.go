@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ChangedLines maps module-root-relative file paths to the set of line
+// numbers that changed, as parsed from a unified diff. It backs cppe-lint's
+// -diff <ref> mode: pre-commit hooks lint the whole tree but report only
+// findings on lines the commit actually touched.
+type ChangedLines map[string]map[int]bool
+
+// ParseUnifiedDiff extracts the post-image changed lines from a unified diff
+// (git diff [-U0] output). Only additions and modifications count — a
+// deleted line has no post-image line to report on. Paths are taken from the
+// "+++ b/<path>" headers with the "b/" prefix stripped, matching the
+// module-root-relative paths diagnostics carry.
+func ParseUnifiedDiff(r io.Reader) (ChangedLines, error) {
+	changed := make(ChangedLines)
+	var cur string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "+++ "):
+			name := strings.TrimPrefix(line, "+++ ")
+			if i := strings.IndexByte(name, '\t'); i >= 0 {
+				name = name[:i]
+			}
+			name = strings.TrimPrefix(name, "b/")
+			if name == "/dev/null" {
+				cur = ""
+			} else {
+				cur = name
+			}
+		case strings.HasPrefix(line, "@@ ") && cur != "":
+			start, count, ok := parseHunkNewRange(line)
+			if !ok || count == 0 {
+				continue
+			}
+			set := changed[cur]
+			if set == nil {
+				set = make(map[int]bool)
+				changed[cur] = set
+			}
+			for i := 0; i < count; i++ {
+				set[start+i] = true
+			}
+		}
+	}
+	return changed, sc.Err()
+}
+
+// parseHunkNewRange parses the "+start,count" half of a @@ hunk header.
+// A missing ",count" means 1 (unified diff shorthand).
+func parseHunkNewRange(line string) (start, count int, ok bool) {
+	i := strings.Index(line, " +")
+	if i < 0 {
+		return 0, 0, false
+	}
+	rest := line[i+2:]
+	if j := strings.IndexByte(rest, ' '); j >= 0 {
+		rest = rest[:j]
+	}
+	count = 1
+	if j := strings.IndexByte(rest, ','); j >= 0 {
+		n, err := strconv.Atoi(rest[j+1:])
+		if err != nil {
+			return 0, 0, false
+		}
+		count = n
+		rest = rest[:j]
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, 0, false
+	}
+	return n, count, true
+}
+
+// FilterChanged keeps only the diagnostics whose file:line falls on a
+// changed line. Diagnostics in files the diff does not mention are dropped.
+func FilterChanged(diags []Diagnostic, changed ChangedLines) []Diagnostic {
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if changed[d.File][d.Line] {
+			out = append(out, d)
+		}
+	}
+	return out
+}

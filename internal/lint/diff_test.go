@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleDiff = `diff --git a/internal/uvm/uvm.go b/internal/uvm/uvm.go
+index 1111111..2222222 100644
+--- a/internal/uvm/uvm.go
++++ b/internal/uvm/uvm.go
+@@ -10,0 +11,2 @@ func f() {
++	a := 1
++	b := 2
+@@ -40 +42 @@ func g() {
++	c := 3
+diff --git a/internal/old/gone.go b/internal/old/gone.go
+deleted file mode 100644
+index 3333333..0000000
+--- a/internal/old/gone.go
++++ /dev/null
+@@ -1,5 +0,0 @@
+-gone
+diff --git a/internal/new/new.go b/internal/new/new.go
+new file mode 100644
+index 0000000..4444444
+--- /dev/null
++++ b/internal/new/new.go
+@@ -0,0 +1,2 @@
++package new
++var X = 1
+`
+
+func TestParseUnifiedDiff(t *testing.T) {
+	changed, err := ParseUnifiedDiff(strings.NewReader(sampleDiff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ChangedLines{
+		"internal/uvm/uvm.go": {11: true, 12: true, 42: true},
+		"internal/new/new.go": {1: true, 2: true},
+	}
+	if len(changed) != len(want) {
+		t.Fatalf("changed files = %v, want %v", changed, want)
+	}
+	for file, lines := range want {
+		if len(changed[file]) != len(lines) {
+			t.Errorf("%s: lines = %v, want %v", file, changed[file], lines)
+			continue
+		}
+		for line := range lines {
+			if !changed[file][line] {
+				t.Errorf("%s: line %d not marked changed", file, line)
+			}
+		}
+	}
+	if _, ok := changed["internal/old/gone.go"]; ok {
+		t.Error("deleted file has no post-image lines but was recorded")
+	}
+}
+
+// TestParseUnifiedDiffHunkShorthand pins the "+start" shorthand (count
+// omitted means 1) and the zero-count hunk (pure deletion) producing nothing.
+func TestParseUnifiedDiffHunkShorthand(t *testing.T) {
+	start, count, ok := parseHunkNewRange("@@ -40 +42 @@")
+	if !ok || start != 42 || count != 1 {
+		t.Errorf("shorthand: (%d, %d, %v), want (42, 1, true)", start, count, ok)
+	}
+	start, count, ok = parseHunkNewRange("@@ -10,2 +10,0 @@")
+	if !ok || start != 10 || count != 0 {
+		t.Errorf("zero count: (%d, %d, %v), want (10, 0, true)", start, count, ok)
+	}
+	if _, _, ok := parseHunkNewRange("not a hunk"); ok {
+		t.Error("garbage accepted as a hunk header")
+	}
+}
+
+func TestFilterChanged(t *testing.T) {
+	diags := []Diagnostic{
+		{File: "internal/uvm/uvm.go", Line: 11, Check: "mapiter", Message: "on a changed line"},
+		{File: "internal/uvm/uvm.go", Line: 13, Check: "mapiter", Message: "line not in the diff"},
+		{File: "internal/tlb/tlb.go", Line: 11, Check: "mapiter", Message: "file not in the diff"},
+	}
+	changed := ChangedLines{"internal/uvm/uvm.go": {11: true, 12: true}}
+	got := FilterChanged(diags, changed)
+	if len(got) != 1 || got[0].Line != 11 || got[0].File != "internal/uvm/uvm.go" {
+		t.Fatalf("filtered = %v, want only uvm.go:11", got)
+	}
+	if out := FilterChanged(diags, ChangedLines{}); len(out) != 0 {
+		t.Fatalf("empty diff kept %v", out)
+	}
+}

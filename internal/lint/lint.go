@@ -17,6 +17,24 @@
 //     inside one simulation would break (cycle, seq) replay; only the harness
 //     fan-out over independent simulations may spawn goroutines.
 //
+// On top of the file-local passes, four semantic analyzers reason over the
+// type-checked whole-program graph (see program.go):
+//
+//   - statecov: snapshot completeness — every post-construction-mutated field
+//     of an Encode/Decode-owning struct must reach the encoder, or resumes
+//     silently drift (checks the DESIGN §10 contract statically).
+//   - viewleak: the policy.MachineView read-only contract (DESIGN §13) —
+//     views bind once in BindView, and the RecentEvictions window is never
+//     retained or written through.
+//   - detreach: cross-package reachability — no sim-core call path may reach
+//     wall clocks, global rand, map iteration, or goroutine spawns in
+//     module-local packages outside the per-package lint scope.
+//   - errdrop: no silently discarded error returns in sim-core (the
+//     Result.Err discipline of DESIGN §8); explicit `_ =` stays legal.
+//
+// A well-formed waiver that no longer suppresses anything is itself a
+// diagnostic (the unused-waiver audit), so waivers cannot rot in place.
+//
 // A finding can be waived per line with a justified directive comment:
 //
 //	for k := range m { // cppelint:ordered keys copied and sorted below
@@ -111,13 +129,43 @@ func Checks() []*Check {
 			Packages:  simCore,
 			run:       checkGoFreeze,
 		},
+		{
+			Name:      "statecov",
+			Directive: "statecov",
+			Doc:       "every post-construction-mutated field of a snapshot-owning struct must reach its encoder (checkpoint completeness)",
+			Packages:  simCore,
+			run:       checkStateCov,
+		},
+		{
+			Name:      "viewleak",
+			Directive: "viewleak",
+			Doc:       "MachineView and its RecentEvictions window must not be retained or written through (read-only policy contract)",
+			Packages:  simCore,
+			run:       checkViewLeak,
+		},
+		{
+			Name:      "detreach",
+			Directive: "detreach",
+			Doc:       "no sim-core call path may reach wall clocks, global rand, map iteration, or goroutines in downstream packages",
+			Packages:  simCore,
+			run:       checkDetReach,
+		},
+		{
+			Name:      "errdrop",
+			Directive: "errdrop",
+			Doc:       "no silently discarded error returns in sim-core; handle, assign explicitly, or waive",
+			Packages:  simCore,
+			run:       checkErrDrop,
+		},
 	}
 }
 
-// checkContext carries per-package reporting state into a check run.
+// checkContext carries per-package reporting state into a check run, plus
+// the whole-program graph the semantic analyzers consult.
 type checkContext struct {
 	check   *Check
 	runner  *Runner
+	prog    *Program
 	waivers map[string]map[int]*waiver // file -> line -> waiver
 }
 
@@ -235,38 +283,66 @@ func (r *Runner) inScope(c *Check, pkg *Package) bool {
 }
 
 // LintDirs loads and lints the given package directories, returning all
-// diagnostics sorted by position.
+// diagnostics sorted by position. Loading happens in two phases: every
+// target (and, transitively, every module-local dependency) is parsed and
+// type-checked first, so the semantic analyzers see one consistent
+// whole-program graph; then each target package runs its in-scope checks.
+// A package that fails to parse or type-check reports its problems as
+// [typecheck] diagnostics and is skipped — it never aborts the run.
 func (r *Runner) LintDirs(dirs []string) ([]Diagnostic, error) {
 	known := make(map[string]bool)
 	for _, c := range r.Checks {
 		known[c.Directive] = true
 	}
+	directiveCheck := make(map[string]string) // directive -> check name
+	for _, c := range r.Checks {
+		directiveCheck[c.Directive] = c.Name
+	}
+
+	// Phase 1: load every target so the program graph is complete.
+	var targets []*Package
 	for _, dir := range dirs {
 		pkg, err := r.Loader.LoadDir(dir)
 		if err != nil {
 			return nil, err
 		}
+		targets = append(targets, pkg)
+	}
+	prog := newProgram(r.Loader)
+
+	// Phase 2: run the suite per target package.
+	for _, pkg := range targets {
+		if pkg.Broken {
+			for _, d := range pkg.Errors {
+				r.report(d)
+			}
+			continue
+		}
+		ranChecks := make(map[string]bool) // check name -> ran on this package
 		anyCheck := false
 		for _, c := range r.Checks {
 			if r.inScope(c, pkg) {
 				anyCheck = true
-				break
+				ranChecks[c.Name] = true
 			}
 		}
 		if !anyCheck {
 			continue
 		}
 		waivers := make(map[string]map[int]*waiver)
+		fileNames := make([]string, 0, len(pkg.Files))
 		for _, f := range pkg.Files {
 			name := pkg.Fset.Position(f.Pos()).Filename
+			fileNames = append(fileNames, name)
 			waivers[name] = parseWaivers(pkg, f, known, r)
 		}
 		for _, c := range r.Checks {
 			if !r.inScope(c, pkg) {
 				continue
 			}
-			c.run(pkg, &checkContext{check: c, runner: r, waivers: waivers})
+			c.run(pkg, &checkContext{check: c, runner: r, prog: prog, waivers: waivers})
 		}
+		r.auditWaivers(pkg, fileNames, waivers, directiveCheck, ranChecks)
 	}
 	sort.Slice(r.diags, func(i, j int) bool {
 		a, b := r.diags[i], r.diags[j]
@@ -282,6 +358,37 @@ func (r *Runner) LintDirs(dirs []string) ([]Diagnostic, error) {
 		return a.Check < b.Check
 	})
 	return r.diags, nil
+}
+
+// auditWaivers reports well-formed waivers that suppressed nothing: the
+// check they name ran on this package and produced no finding on their line
+// (or the line below). Without this audit, waivers rot — the guarded code is
+// refactored away, the directive stays, and a future real finding on that
+// line is silently swallowed. Audited waivers must have a known directive
+// and a reason (malformed ones are already diagnostics) and their check must
+// actually have run here, so out-of-scope packages don't produce noise.
+func (r *Runner) auditWaivers(pkg *Package, fileNames []string, waivers map[string]map[int]*waiver, directiveCheck map[string]string, ranChecks map[string]bool) {
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
+		byLine := waivers[name]
+		lines := make([]int, 0, len(byLine))
+		for line := range byLine {
+			lines = append(lines, line)
+		}
+		sort.Ints(lines)
+		for _, line := range lines {
+			w := byLine[line]
+			checkName, knownDirective := directiveCheck[w.directive]
+			if !knownDirective || w.reason == "" || w.used || !ranChecks[checkName] {
+				continue
+			}
+			r.report(Diagnostic{
+				File: r.relPath(name), Line: w.line, Col: 1,
+				Check:   "waiver",
+				Message: fmt.Sprintf("unused cppelint:%s waiver: the %s check reports nothing on this line — remove the waiver or update its position", w.directive, checkName),
+			})
+		}
+	}
 }
 
 // enclosingFuncName returns the name of the innermost function declaration

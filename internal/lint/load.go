@@ -3,8 +3,10 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -24,6 +26,14 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// Broken marks a package whose files failed to parse or type-check.
+	// Semantic analyzers skip broken packages (their type information is
+	// incomplete); the load problems themselves surface as Errors.
+	Broken bool
+	// Errors holds the parse/type-check problems of a broken package as
+	// ready-to-report diagnostics (check "typecheck").
+	Errors []Diagnostic
 }
 
 // Loader parses and type-checks packages of a single module using only the
@@ -97,6 +107,9 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if pkg.Broken {
+			return nil, fmt.Errorf("lint: dependency %s has errors", path)
+		}
 		return pkg.Types, nil
 	}
 	return l.std.Import(path)
@@ -126,7 +139,25 @@ func (l *Loader) importPathFor(dir string) (string, error) {
 	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
 }
 
+// Packages returns every module-local package the loader has seen — the lint
+// targets plus everything they transitively import inside the module — sorted
+// by import path. This is the program graph the semantic analyzers walk.
+func (l *Loader) Packages() []*Package {
+	var pkgs []*Package
+	for _, p := range l.pkgs {
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs
+}
+
 // LoadDir parses and type-checks the package in dir (non-test files only).
+// Parse and type-check problems do not fail the load: they are recorded on
+// the returned Package (Broken + Errors) so the caller can report them as
+// diagnostics and keep linting the rest of the tree. Only I/O-level problems
+// (unreadable directory, no Go files) return an error.
 func (l *Loader) LoadDir(dir string) (*Package, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
@@ -142,48 +173,89 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 
 	importPath, err := l.importPathFor(abs)
 	if err != nil {
+		delete(l.pkgs, abs)
 		return nil, err
 	}
 	names, err := goFilesIn(abs)
 	if err != nil {
+		delete(l.pkgs, abs)
 		return nil, err
 	}
 	if len(names) == 0 {
+		delete(l.pkgs, abs)
 		return nil, fmt.Errorf("lint: no buildable Go files in %s", abs)
+	}
+	pkg := &Package{Dir: abs, ImportPath: importPath, Fset: l.fset}
+	fail := func(pos token.Position, msg string) {
+		pkg.Broken = true
+		pkg.Errors = append(pkg.Errors, Diagnostic{
+			File: l.relPath(pos.Filename), Line: pos.Line, Col: pos.Column,
+			Check: "typecheck", Message: msg,
+		})
 	}
 	var files []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(l.fset, filepath.Join(abs, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			if list, ok := err.(scanner.ErrorList); ok && len(list) > 0 {
+				fail(list[0].Pos, list[0].Msg)
+			} else {
+				fail(token.Position{Filename: filepath.Join(abs, name)}, err.Error())
+			}
+			continue
 		}
 		files = append(files, f)
+	}
+	if len(files) == 0 && pkg.Broken {
+		l.pkgs[abs] = pkg
+		return pkg, nil
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Uses:       make(map[*ast.Ident]types.Object),
 		Defs:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: l}
-	tpkg, err := conf.Check(importPath, l.fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if terr, ok := err.(types.Error); ok {
+				fail(terr.Fset.Position(terr.Pos), terr.Msg)
+			} else {
+				fail(token.Position{}, err.Error())
+			}
+		},
 	}
-	pkg := &Package{
-		Dir:        abs,
-		ImportPath: importPath,
-		Name:       tpkg.Name(),
-		Fset:       l.fset,
-		Files:      files,
-		Types:      tpkg,
-		Info:       info,
+	tpkg, _ := conf.Check(importPath, l.fset, files, info) // errors go to conf.Error
+	if tpkg == nil {
+		tpkg = types.NewPackage(importPath, filepath.Base(abs))
+		pkg.Broken = true
 	}
+	pkg.Name = tpkg.Name()
+	pkg.Files = files
+	pkg.Types = tpkg
+	pkg.Info = info
 	l.pkgs[abs] = pkg
 	return pkg, nil
 }
 
-// goFilesIn lists the non-test .go files of dir, sorted for determinism.
+// relPath renders a path relative to the module root (stable diagnostics).
+func (l *Loader) relPath(abs string) string {
+	if rel, err := filepath.Rel(l.ModuleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return abs
+}
+
+// lintBuildContext is the build-constraint matcher for goFilesIn: the default
+// context (host GOOS/GOARCH, no extra tags), so files gated to other
+// platforms or behind never-set tags are excluded exactly as `go build`
+// would exclude them.
+var lintBuildContext = build.Default
+
+// goFilesIn lists the non-test .go files of dir that survive build-constraint
+// evaluation, sorted for determinism.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -195,6 +267,9 @@ func goFilesIn(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
 			continue
+		}
+		if ok, err := lintBuildContext.MatchFile(dir, name); err != nil || !ok {
+			continue // excluded by //go:build constraints or file suffix
 		}
 		names = append(names, name)
 	}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The semantic-analyzer fixtures pin exact diagnostics, the same contract the
+// file-local fixtures have held since v1: a change to an analyzer that shifts
+// a message, position, or count is visible in review as a test diff.
+
+func TestFixtureStateCov(t *testing.T) {
+	assertDiags(t, lintFixture(t, "statecov"), []string{
+		"internal/lint/testdata/src/statecov/statecov.go:9: [statecov] field Counter.cursor is mutated after construction but never reaches Encode: checkpoint/resume will silently drift (encode it, or waive with //cppelint:statecov naming what rebuilds it)",
+	})
+}
+
+// TestFixtureStateCovClean pins the canary baseline: the fully encoded struct
+// produces nothing, so TestStateCovMutationCanary below measures exactly the
+// effect of deleting one encoder line.
+func TestFixtureStateCovClean(t *testing.T) {
+	assertDiags(t, lintFixture(t, "statecovclean"), nil)
+}
+
+// TestStateCovMutationCanary is the acceptance-gate mutation test: copy the
+// clean fixture, delete the marked encoder line (the serialization of the
+// cursor field), and assert statecov fires. If statecov ever regresses into
+// counting decoder references as coverage — the design trap this check
+// deliberately avoids — this test catches it, because the decoder still reads
+// the field.
+func TestStateCovMutationCanary(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "statecovclean", "statecovclean.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []string
+	removed := false
+	for _, line := range strings.Split(string(src), "\n") {
+		if strings.Contains(line, "// canary:") {
+			removed = true
+			continue
+		}
+		kept = append(kept, line)
+	}
+	if !removed {
+		t.Fatal("statecovclean fixture has no '// canary:' marker line to delete")
+	}
+	// The mutant must live under the module root so the loader can derive its
+	// import path; t.TempDir is outside the module.
+	dir := filepath.Join("testdata", "src", "statecovmut")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if err := os.WriteFile(filepath.Join(dir, "statecovclean.go"), []byte(strings.Join(kept, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertDiags(t, lintFixture(t, "statecovmut"), []string{
+		"internal/lint/testdata/src/statecovmut/statecovclean.go:10: [statecov] field Gauge.cursor is mutated after construction but never reaches Encode: checkpoint/resume will silently drift (encode it, or waive with //cppelint:statecov naming what rebuilds it)",
+	})
+}
+
+func TestFixtureViewLeak(t *testing.T) {
+	assertDiags(t, lintFixture(t, "viewleak"), []string{
+		"internal/lint/testdata/src/viewleak/viewleak.go:18: [viewleak] MachineView stored in a package-level variable: the view must live only in the bound policy (DESIGN §13)",
+		"internal/lint/testdata/src/viewleak/viewleak.go:23: [viewleak] MachineView stored in a field outside BindView: the view is bound exactly once, at machine construction (DESIGN §13)",
+		"internal/lint/testdata/src/viewleak/viewleak.go:29: [viewleak] RecentEvictions window retained in a struct field: the window is a per-call observation, not policy state — copy what you need or waive with //cppelint:viewleak <reason>",
+		"internal/lint/testdata/src/viewleak/viewleak.go:30: [viewleak] write through the RecentEvictions window: the machine hands out a copy and ignores mutations (DESIGN §13 read-only contract)",
+	})
+}
+
+func TestFixtureDetReach(t *testing.T) {
+	assertDiags(t, lintFixture(t, "detreach"), []string{
+		"internal/lint/testdata/src/detreach/detreach.go:10: [detreach] call to detreachdep.Stamp reaches nondeterminism outside the linted scope: detreachdep.Stamp -> detreachdep.tick reads the wall clock (time.Now)",
+	})
+}
+
+func TestFixtureErrDrop(t *testing.T) {
+	assertDiags(t, lintFixture(t, "errdrop"), []string{
+		"internal/lint/testdata/src/errdrop/errdrop.go:17: [errdrop] discarded error from flush: handle it, assign it explicitly (_ = ...), or waive with //cppelint:errdrop <reason>",
+		"internal/lint/testdata/src/errdrop/errdrop.go:18: [errdrop] discarded error from flush: handle it, assign it explicitly (_ = ...), or waive with //cppelint:errdrop <reason>",
+	})
+}
+
+// TestFixtureWaiverUnused pins the unused-waiver audit: the stale waiver over
+// a slice range is a diagnostic, the live waiver over a map range is not.
+func TestFixtureWaiverUnused(t *testing.T) {
+	assertDiags(t, lintFixture(t, "waiverunused"), []string{
+		"internal/lint/testdata/src/waiverunused/waiverunused.go:9: [waiver] unused cppelint:ordered waiver: the mapiter check reports nothing on this line — remove the waiver or update its position",
+	})
+}

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// checkStateCov verifies snapshot completeness: for every struct that owns
+// dynamic simulation state — detected by its Encode/EncodeState +
+// Decode/DecodeState method pair against the snapshot codec — each field that
+// is mutated after construction must be reachable from the encoder (written
+// to the snapshot stream directly, or passed to a helper that writes it).
+// A field that mutates at runtime but never reaches the encoder is the exact
+// checkpoint-drift bug class the resume-equivalence fuzzers catch only when a
+// workload happens to exercise it: a resumed run silently diverges from the
+// uninterrupted one.
+//
+// Derived state that the decoder rebuilds instead of reading (indexes,
+// recency lists, free lists) is an intentional exception and carries a
+// //cppelint:statecov waiver on the field declaration naming what rebuilds
+// it. Coverage is computed over the encoder's package-local call closure, so
+// helpers (putChunkSet, idxRebuild) and methods of embedded components count.
+func checkStateCov(pkg *Package, ctx *checkContext) {
+	if pkg.Broken {
+		return
+	}
+	encoders := snapshotPairs(pkg)
+	for _, sp := range encoders {
+		fields := structFields(sp.typ)
+		if len(fields) == 0 {
+			continue
+		}
+		covered := fieldsInClosure(pkg, ctx.prog, sp.enc, fields)
+		decClosure := closureOf(pkg, ctx.prog, sp.dec)
+		encClosure := closureOf(pkg, ctx.prog, sp.enc)
+		mutated := mutatedFields(pkg, fields, encClosure, decClosure)
+		names := make([]string, 0, len(fields))
+		for name := range fields {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fv := fields[name]
+			if !mutated[fv] || covered[fv] {
+				continue
+			}
+			node := fieldDeclNode(pkg, fv)
+			if node == nil {
+				continue
+			}
+			ctx.reportNode(pkg, node, "field %s.%s is mutated after construction but never reaches %s: checkpoint/resume will silently drift (encode it, or waive with //cppelint:statecov naming what rebuilds it)",
+				sp.typ.Obj().Name(), name, sp.enc.Name())
+		}
+	}
+}
+
+// snapshotPair is one state-owning struct with its encoder/decoder methods.
+type snapshotPair struct {
+	typ *types.Named
+	enc *types.Func
+	dec *types.Func
+}
+
+// snapshotPairs finds the package's named struct types that implement the
+// snapshot codec convention: a method named Encode or EncodeState taking a
+// *snapshot.Writer, paired with Decode or DecodeState taking a
+// *snapshot.Reader. Types with an encoder but no decoder (or vice versa) are
+// reported by checkStateCov's caller context via the pairing diagnostic.
+func snapshotPairs(pkg *Package) []snapshotPair {
+	byType := make(map[*types.Named]*snapshotPair)
+	var order []*types.Named
+	for _, fd := range sortedFuncDecls(pkg) {
+		obj := funcObj(pkg, fd)
+		if obj == nil || fd.Recv == nil {
+			continue
+		}
+		sig := obj.Type().(*types.Signature)
+		if sig.Params().Len() != 1 {
+			continue
+		}
+		role := 0 // 1 = encoder, 2 = decoder
+		switch obj.Name() {
+		case "Encode", "EncodeState":
+			if isSnapshotParam(sig.Params().At(0).Type(), "Writer") {
+				role = 1
+			}
+		case "Decode", "DecodeState":
+			if isSnapshotParam(sig.Params().At(0).Type(), "Reader") {
+				role = 2
+			}
+		}
+		if role == 0 {
+			continue
+		}
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		sp := byType[named]
+		if sp == nil {
+			sp = &snapshotPair{typ: named}
+			byType[named] = sp
+			order = append(order, named)
+		}
+		if role == 1 {
+			sp.enc = obj
+		} else {
+			sp.dec = obj
+		}
+	}
+	var out []snapshotPair
+	for _, named := range order {
+		sp := byType[named]
+		if sp.enc != nil && sp.dec != nil {
+			out = append(out, *sp)
+		}
+	}
+	return out
+}
+
+// isSnapshotParam reports whether t is *snapshot.<name> from the repository's
+// snapshot codec package (matched by package path suffix so fixtures under
+// testdata resolve too).
+func isSnapshotParam(t types.Type, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok || named.Obj().Name() != name || named.Obj().Pkg() == nil {
+		return false
+	}
+	p := named.Obj().Pkg().Path()
+	return p == "github.com/reproductions/cppe/internal/snapshot" || strings.HasSuffix(p, "/snapshot")
+}
+
+// structFields returns the named type's direct fields by name.
+func structFields(named *types.Named) map[string]*types.Var {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]*types.Var, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		out[st.Field(i).Name()] = st.Field(i)
+	}
+	return out
+}
+
+// closureOf returns the package-local call closure of fn: fn plus every
+// same-package function or method statically reachable from it (including
+// through interface calls whose implementations live in this package).
+func closureOf(pkg *Package, prog *Program, fn *types.Func) map[*types.Func]bool {
+	closure := make(map[*types.Func]bool)
+	var walk func(f *types.Func)
+	walk = func(f *types.Func) {
+		if closure[f] || prog.packageOf(f) != pkg {
+			return
+		}
+		closure[f] = true
+		for _, callee := range prog.calleesOf(f) {
+			walk(callee)
+		}
+	}
+	walk(fn)
+	return closure
+}
+
+// fieldsInClosure returns the subset of fields referenced (read or written)
+// anywhere in fn's package-local call closure.
+func fieldsInClosure(pkg *Package, prog *Program, fn *types.Func, fields map[string]*types.Var) map[*types.Var]bool {
+	want := make(map[*types.Var]bool, len(fields))
+	for _, fv := range fields {
+		want[fv] = true
+	}
+	out := make(map[*types.Var]bool)
+	for f := range closureOf(pkg, prog, fn) {
+		fb := prog.funcs[f]
+		if fb == nil {
+			continue
+		}
+		ast.Inspect(fb.decl.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				if fv, ok := s.Obj().(*types.Var); ok && want[fv] {
+					out[fv] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// mutatedFields returns the fields written after construction: assignment
+// targets, ++/--, index/element writes, delete() on a field map,
+// address-taking (conservative: an escaping pointer may be written through),
+// and pointer-receiver method calls on a field. Writes inside constructors (New*, new*, Must*, init) and inside
+// the encoder/decoder closures themselves (restore is not drift) are
+// excluded.
+func mutatedFields(pkg *Package, fields map[string]*types.Var, encClosure, decClosure map[*types.Func]bool) map[*types.Var]bool {
+	want := make(map[*types.Var]bool, len(fields))
+	for _, fv := range fields {
+		want[fv] = true
+	}
+	out := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		if fv := fieldWriteRoot(pkg, e); fv != nil && want[fv] {
+			out[fv] = true
+		}
+	}
+	for _, fd := range sortedFuncDecls(pkg) {
+		obj := funcObj(pkg, fd)
+		if obj == nil || encClosure[obj] || decClosure[obj] {
+			continue
+		}
+		name := fd.Name.Name
+		if name == "init" || strings.HasPrefix(name, "New") || strings.HasPrefix(name, "new") || strings.HasPrefix(name, "Must") {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					mark(lhs)
+				}
+			case *ast.IncDecStmt:
+				mark(s.X)
+			case *ast.UnaryExpr:
+				if s.Op == token.AND {
+					mark(s.X)
+				}
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr); ok {
+					if ms, ok := pkg.Info.Selections[sel]; ok && ms.Kind() == types.MethodVal {
+						if m, ok := ms.Obj().(*types.Func); ok && hasPointerReceiver(m) {
+							mark(sel.X)
+						}
+					}
+				}
+				if id, ok := ast.Unparen(s.Fun).(*ast.Ident); ok && len(s.Args) > 0 {
+					if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+						mark(s.Args[0])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasPointerReceiver reports whether m is declared with a pointer receiver
+// (so calling it on a field can mutate the field in place).
+func hasPointerReceiver(m *types.Func) bool {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().(*types.Pointer)
+	return ok
+}
+
+// fieldWriteRoot resolves an lvalue-ish expression to the outermost struct
+// field it writes into: t.stats.Class, t.buf[i], *t.ptr, and &t.entries[i]
+// all root at the field selected directly off the receiver.
+func fieldWriteRoot(pkg *Package, e ast.Expr) *types.Var {
+	var root *types.Var
+	for {
+		switch s := e.(type) {
+		case *ast.ParenExpr:
+			e = s.X
+		case *ast.IndexExpr:
+			e = s.X
+		case *ast.StarExpr:
+			e = s.X
+		case *ast.SelectorExpr:
+			if sel, ok := pkg.Info.Selections[s]; ok && sel.Kind() == types.FieldVal {
+				if fv, ok := sel.Obj().(*types.Var); ok {
+					root = fv // innermost (closest to the receiver) wins
+				}
+			}
+			e = s.X
+		default:
+			return root
+		}
+	}
+}
+
+// fieldDeclNode locates the declaration node of a struct field for reporting
+// (the field name inside the struct type literal).
+func fieldDeclNode(pkg *Package, fv *types.Var) ast.Node {
+	for id, obj := range pkg.Info.Defs {
+		if obj == fv {
+			return id
+		}
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+// Package buildtags is a cppe-lint self-test fixture: build-constraint
+// handling. The sibling file excluded.go is gated behind a tag the default
+// build context never sets, so its violation must not be reported.
+package buildtags
+
+// Double doubles a value.
+func Double(x int) int { return 2 * x }

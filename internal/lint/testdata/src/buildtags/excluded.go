@@ -1,0 +1,12 @@
+//go:build cppelint_exclude
+
+package buildtags
+
+// LeakOrder would be a mapiter finding if this file were ever in the build.
+func LeakOrder(m map[int]int) int {
+	t := 0
+	for _, v := range m {
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,11 @@
+// Package detreach is a cppe-lint self-test fixture: cross-package
+// nondeterminism reachability.
+package detreach
+
+import "github.com/reproductions/cppe/internal/lint/testdata/src/detreachdep"
+
+// Mark calls a clean-looking helper whose downstream closure reads the wall
+// clock.
+func Mark() int64 {
+	return detreachdep.Stamp()
+}

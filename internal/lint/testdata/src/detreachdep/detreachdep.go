@@ -1,0 +1,16 @@
+// Package detreachdep is a cppe-lint self-test fixture dependency: a helper
+// package outside the sim-core scope that hides a wall-clock read one call
+// deep.
+package detreachdep
+
+import "time"
+
+// Stamp returns a wall-clock timestamp through one level of indirection.
+func Stamp() int64 {
+	return tick()
+}
+
+// tick reads the wall clock.
+func tick() int64 {
+	return time.Now().UnixNano()
+}

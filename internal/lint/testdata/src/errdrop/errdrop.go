@@ -1,0 +1,37 @@
+// Package errdrop is a cppe-lint self-test fixture: discarded errors.
+package errdrop
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// flush pretends to persist something.
+func flush() error {
+	return errors.New("disk full")
+}
+
+// Commit drops the flush error on the floor, twice.
+func Commit() {
+	flush()
+	defer flush()
+}
+
+// Discard makes the drop explicit, which is legal.
+func Discard() {
+	_ = flush()
+}
+
+// Render writes into infallible writers, which are exempt.
+func Render(b *bytes.Buffer) string {
+	fmt.Fprintf(b, "n=%d", 1)
+	b.WriteString("!")
+	return b.String()
+}
+
+// Waived drops an error under a justified waiver.
+func Waived() {
+	//cppelint:errdrop fixture: this drop is deliberately waived
+	flush()
+}

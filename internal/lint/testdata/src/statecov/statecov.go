@@ -1,0 +1,30 @@
+// Package statecov is a cppe-lint self-test fixture: snapshot completeness.
+package statecov
+
+import "github.com/reproductions/cppe/internal/snapshot"
+
+// Counter owns simulated state with an encoder that forgets one field.
+type Counter struct {
+	total  int
+	cursor int
+	//cppelint:statecov index rebuilt from total in Decode
+	idx map[int]bool
+}
+
+// Encode serializes total but forgets cursor.
+func (c *Counter) Encode(w *snapshot.Writer) {
+	w.PutInt(c.total)
+}
+
+// Decode restores the encoded state and rebuilds the index.
+func (c *Counter) Decode(r *snapshot.Reader) {
+	c.total = r.GetInt()
+	c.idx = map[int]bool{c.total: true}
+}
+
+// Step mutates every runtime field.
+func (c *Counter) Step() {
+	c.total++
+	c.cursor++
+	c.idx[c.cursor] = true
+}

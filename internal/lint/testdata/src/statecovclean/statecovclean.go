@@ -1,0 +1,29 @@
+// Package statecovclean is a cppe-lint self-test fixture: a fully encoded
+// struct, the baseline for the statecov mutation canary.
+package statecovclean
+
+import "github.com/reproductions/cppe/internal/snapshot"
+
+// Gauge owns two mutated fields, both serialized.
+type Gauge struct {
+	total  int
+	cursor int
+}
+
+// Encode serializes every mutated field.
+func (g *Gauge) Encode(w *snapshot.Writer) {
+	w.PutInt(g.total)
+	w.PutInt(g.cursor) // canary: the mutation test deletes this line
+}
+
+// Decode restores the encoded state.
+func (g *Gauge) Decode(r *snapshot.Reader) {
+	g.total = r.GetInt()
+	g.cursor = r.GetInt()
+}
+
+// Step mutates both fields.
+func (g *Gauge) Step() {
+	g.total++
+	g.cursor++
+}

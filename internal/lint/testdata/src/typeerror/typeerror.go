@@ -1,0 +1,9 @@
+// Package typeerror is a cppe-lint self-test fixture: a package that fails
+// type checking must surface [typecheck] diagnostics instead of aborting the
+// run.
+package typeerror
+
+// Mismatched returns a string where an int is declared.
+func Mismatched() int {
+	return "not an int"
+}

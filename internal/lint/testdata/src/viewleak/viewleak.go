@@ -1,0 +1,31 @@
+// Package viewleak is a cppe-lint self-test fixture: MachineView escape.
+package viewleak
+
+import "github.com/reproductions/cppe/internal/policy"
+
+// stashedView retains the machine view at package scope.
+var stashedView policy.MachineView
+
+// Leaky violates the read-only view contract in every way the check knows.
+type Leaky struct {
+	view   policy.MachineView
+	window []policy.EvictionRecord
+}
+
+// BindView stores the view (legal) and leaks it to a package variable.
+func (l *Leaky) BindView(v policy.MachineView) {
+	l.view = v
+	stashedView = v
+}
+
+// Rebind stores the view into a field outside BindView.
+func (l *Leaky) Rebind(v policy.MachineView) {
+	l.view = v
+}
+
+// Observe retains the window in a field and writes through it.
+func (l *Leaky) Observe() {
+	recs := l.view.RecentEvictions()
+	l.window = recs
+	recs[0].Cycle = 0
+}

@@ -1,0 +1,24 @@
+// Package waiverunused is a cppe-lint self-test fixture: the unused-waiver
+// audit.
+package waiverunused
+
+// Sum iterates a slice under a stale map-iteration waiver: the range below
+// is over a slice, so the ordered waiver suppresses nothing.
+func Sum(xs []int) int {
+	total := 0
+	//cppelint:ordered stale waiver left behind after a refactor
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Keys ranges over a map under a live waiver, which the audit must not flag.
+func Keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//cppelint:ordered caller sorts the returned slice before any use
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -84,9 +84,10 @@ type LearnedStats struct {
 // evict.Snapshotter, and ViewBinder.
 type Learned struct {
 	chain *evict.Chain
-	view  MachineView // nil until bound; features degrade to zero
-	rng   lrng
-	w     [nFeatures]int64
+	//cppelint:statecov view binding, re-bound by the machine at construction (DESIGN §13), never serialized
+	view MachineView // nil until bound; features degrade to zero
+	rng  lrng
+	w    [nFeatures]int64
 
 	ring     [ringCap]ringEntry
 	ringNext int

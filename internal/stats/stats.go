@@ -127,8 +127,10 @@ func FormatCell(c interface{}) string {
 	}
 }
 
-// Fprint writes the table as aligned text.
-func (t *Table) Fprint(w io.Writer) {
+// Fprint writes the table as aligned text, returning the first write error
+// (rendering continues past it only to compute nothing further — every write
+// after a failure is skipped).
+func (t *Table) Fprint(w io.Writer) error {
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
 		widths[i] = len(c)
@@ -140,18 +142,24 @@ func (t *Table) Fprint(w io.Writer) {
 			}
 		}
 	}
+	var werr error
+	emit := func(format string, args ...interface{}) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, format, args...)
+		}
+	}
 	if t.Title != "" {
-		fmt.Fprintf(w, "== %s ==\n", t.Title)
+		emit("== %s ==\n", t.Title)
 	}
 	if t.Caption != "" {
-		fmt.Fprintf(w, "%s\n", t.Caption)
+		emit("%s\n", t.Caption)
 	}
 	line := func(cells []string) {
 		parts := make([]string, len(cells))
 		for i, c := range cells {
 			parts[i] = pad(c, widths[i])
 		}
-		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		emit("%s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
 	line(t.Columns)
 	sep := make([]string, len(t.Columns))
@@ -163,14 +171,15 @@ func (t *Table) Fprint(w io.Writer) {
 		line(r)
 	}
 	if t.err != nil {
-		fmt.Fprintf(w, "!! %v\n", t.err)
+		emit("!! %v\n", t.err)
 	}
+	return werr
 }
 
 // String renders the table to a string.
 func (t *Table) String() string {
 	var b strings.Builder
-	t.Fprint(&b)
+	_ = t.Fprint(&b) // strings.Builder writes cannot fail
 	return b.String()
 }
 
