@@ -9,6 +9,11 @@
 //	     -d '{"benchmark":"SRD","setup":"cppe","oversubscription":50}'
 //	curl -s localhost:8080/v1/jobs/<id>
 //	curl -s localhost:8080/v1/jobs/<id>/result     # == cppe-sim -json output
+//	curl -s -XPOST localhost:8080/v1/sweeps \
+//	     -d '{"benchmarks":["SRD","NW"],"setups":["base","cppe"],"oversubscriptions":[75,50]}'
+//	curl -s localhost:8080/v1/sweeps/<id>          # per-point states + counts
+//	curl -s localhost:8080/v1/sweeps/<id>/result   # the (partial) grid
+//	curl -sN localhost:8080/v1/sweeps/<id>/events  # SSE progress stream
 //	curl -s localhost:8080/statsz
 //
 // Durability: every accepted job is journaled under the state directory and
@@ -45,6 +50,9 @@ func main() {
 		retryCap  = flag.Duration("retry-cap", 8*time.Second, "retry backoff ceiling")
 		deadline  = flag.Duration("deadline", 0, "per-attempt wall-clock budget, enforced at checkpoint boundaries (0 = none)")
 		drainWait = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget for parking running jobs (0 = wait forever)")
+		sweepWork = flag.Int("sweep-workers", 0, "per-sweep fan-out window: points of one sweep in flight at a time (default: -workers)")
+		storeMax  = flag.Int64("store-max-bytes", 0, "result store size budget; LRU tail evicted past it (0 = unbounded)")
+		storeAge  = flag.Duration("store-max-age", 0, "evict results older than this and expire manifests of long-done sweeps (0 = never)")
 		scale     = flag.Float64("scale", 0, "workload footprint scale for all jobs (default 0.25)")
 		warps     = flag.Int("warps", 0, "concurrent access streams (default 64)")
 		seed      = flag.Int64("seed", 0, "workload/PRNG seed")
@@ -69,6 +77,9 @@ func main() {
 		RetryBase:       *retryBase,
 		RetryCap:        *retryCap,
 		Deadline:        *deadline,
+		SweepWorkers:    *sweepWork,
+		StoreMaxBytes:   *storeMax,
+		StoreMaxAge:     *storeAge,
 		Runner:          serve.SessionRunner(session),
 	})
 	if err != nil {

@@ -79,6 +79,23 @@ func (s *Session) EnvelopeID(k Key) (uint64, error) {
 	return h, nil
 }
 
+// Progress describes one checkpoint boundary of a resumable run, delivered
+// to the progress hook of RunResumableProgress immediately after the
+// checkpoint bytes are durable. It is the service layer's window into a
+// running simulation: everything else about the run stays single-goroutine
+// and deterministic, and the hook is called at deterministic simulation
+// points (every `every` cycles), so observing progress cannot perturb the
+// result.
+type Progress struct {
+	// Key identifies the simulation.
+	Key Key
+	// Cycle is the simulated time of the checkpoint just written.
+	Cycle memdef.Cycle
+	// Checkpoints counts checkpoint writes in this attempt (resuming from an
+	// earlier attempt's checkpoint restarts the count at 1).
+	Checkpoints int
+}
+
 // RunResumable executes one simulation with kill-resilience and service
 // hooks. If a valid checkpoint of k (taken under this session's parameters)
 // exists at path, the run continues from it; a leftover checkpoint that is
@@ -95,13 +112,23 @@ func (s *Session) EnvelopeID(k Key) (uint64, error) {
 // outcomes are cached in the session, so retrying an errored run actually
 // reruns it.
 func (s *Session) RunResumable(k Key, path string, every memdef.Cycle, stop func() bool) (Result, error) {
+	return s.RunResumableProgress(k, path, every, stop, nil)
+}
+
+// RunResumableProgress is RunResumable with a progress hook: after every
+// durable checkpoint write — and before the stop hook is consulted — the
+// hook (nil = none) receives a Progress snapshot. The service layer drives
+// sweep streaming off this callback; the hook must not mutate simulation
+// state and should return quickly, since the simulation is paused while it
+// runs.
+func (s *Session) RunResumableProgress(k Key, path string, every memdef.Cycle, stop func() bool, progress func(Progress)) (Result, error) {
 	s.mu.Lock()
 	if r, ok := s.cache[k]; ok {
 		s.mu.Unlock()
 		return r, nil
 	}
 	s.mu.Unlock()
-	out, parked := s.runResumable(k, path, every, stop)
+	out, parked := s.runResumable(k, path, every, stop, progress)
 	if parked {
 		return Result{}, ErrParked
 	}
@@ -119,7 +146,7 @@ func (s *Session) RunResumable(k Key, path string, every memdef.Cycle, stop func
 	return out, nil
 }
 
-func (s *Session) runResumable(k Key, path string, every memdef.Cycle, stop func() bool) (out Result, parked bool) {
+func (s *Session) runResumable(k Key, path string, every memdef.Cycle, stop func() bool, progress func(Progress)) (out Result, parked bool) {
 	defer recoverRun(k, &out)
 	b, err := s.resumeOrBuild(k, path)
 	if err != nil {
@@ -128,6 +155,7 @@ func (s *Session) runResumable(k Key, path string, every memdef.Cycle, stop func
 	if every <= 0 || path == "" {
 		return s.collect(k, b, b.machine.Run(s.cfg.MaxEvents)), false
 	}
+	checkpoints := 0
 	for {
 		res, paused := b.machine.RunUntil(s.cfg.MaxEvents, b.machine.Eng.Now()+every)
 		if !paused {
@@ -138,6 +166,10 @@ func (s *Session) runResumable(k Key, path string, every memdef.Cycle, stop func
 			// reported, not silently degraded to a non-resumable one.
 			return Result{Key: k, Crashed: true, Err: err,
 				FootprintPages: b.footprint, CapacityPages: b.cfg.MemoryPages}, false
+		}
+		checkpoints++
+		if progress != nil {
+			progress(Progress{Key: k, Cycle: b.machine.Eng.Now(), Checkpoints: checkpoints})
 		}
 		if stop != nil && stop() {
 			return Result{}, true

@@ -191,3 +191,75 @@ func TestEnvelopeIDStability(t *testing.T) {
 		t.Errorf("unknown setup: err = %v, want ErrUnknownKey", err)
 	}
 }
+
+// TestRunResumableProgressHook pins the streaming contract: the progress hook
+// fires once per durable checkpoint write with strictly increasing cycles and
+// a 1..n checkpoint count, observing the run does not change its Result, and
+// a resumed attempt restarts the per-attempt count at 1.
+func TestRunResumableProgressHook(t *testing.T) {
+	k := ckptKey()
+	want := NewSession(checkpointTestConfig()).Run(k)
+	if want.Err != nil {
+		t.Fatalf("reference run failed: %v", want.Err)
+	}
+
+	path := filepath.Join(t.TempDir(), "job.ckpt")
+	every := want.Cycles / 7
+	var seen []Progress
+	got, err := NewSession(checkpointTestConfig()).RunResumableProgress(k, path, every, nil, func(p Progress) {
+		seen = append(seen, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("observed run differs from reference:\n got %+v\nwant %+v", got, want)
+	}
+	if len(seen) == 0 {
+		t.Fatal("progress hook never fired despite multiple checkpoint boundaries")
+	}
+	for i, p := range seen {
+		if p.Key != k {
+			t.Errorf("progress[%d].Key = %+v, want %+v", i, p.Key, k)
+		}
+		if p.Checkpoints != i+1 {
+			t.Errorf("progress[%d].Checkpoints = %d, want %d", i, p.Checkpoints, i+1)
+		}
+		if i > 0 && p.Cycle <= seen[i-1].Cycle {
+			t.Errorf("progress[%d].Cycle = %d, not after %d", i, p.Cycle, seen[i-1].Cycle)
+		}
+	}
+
+	// Park at the second boundary, then resume in a fresh session: the
+	// resumed attempt's checkpoint count restarts at 1 and its first reported
+	// cycle continues past the parked one.
+	parks := 0
+	var firstLife []Progress
+	_, err = NewSession(checkpointTestConfig()).RunResumableProgress(k, path, every, func() bool {
+		parks++
+		return parks >= 2
+	}, func(p Progress) { firstLife = append(firstLife, p) })
+	if !errors.Is(err, ErrParked) {
+		t.Fatalf("err = %v, want ErrParked", err)
+	}
+	var secondLife []Progress
+	res, err := NewSession(checkpointTestConfig()).RunResumableProgress(k, path, every, nil, func(p Progress) {
+		secondLife = append(secondLife, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, want) {
+		t.Errorf("parked-and-resumed result differs from reference")
+	}
+	if len(firstLife) != 2 {
+		t.Fatalf("first life fired %d progress events, want 2", len(firstLife))
+	}
+	if len(secondLife) == 0 || secondLife[0].Checkpoints != 1 {
+		t.Errorf("resumed attempt did not restart its checkpoint count: %+v", secondLife)
+	}
+	if len(secondLife) > 0 && secondLife[0].Cycle <= firstLife[1].Cycle {
+		t.Errorf("resumed attempt's first checkpoint (%d) not past the parked one (%d)",
+			secondLife[0].Cycle, firstLife[1].Cycle)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package serve
+
+// diskFreeBytes is unavailable on this platform; headroom reports as -1
+// (unknown) and degraded mode relies solely on observed write errors.
+func diskFreeBytes(path string) int64 { return -1 }

@@ -1,0 +1,17 @@
+//go:build linux || darwin
+
+package serve
+
+import "syscall"
+
+// diskFreeBytes reports the free bytes available to unprivileged writers on
+// the filesystem holding path, or -1 when the platform cannot say. Headroom
+// is reported on /healthz and /statsz so operators see disk pressure coming
+// before the degraded flag flips.
+func diskFreeBytes(path string) int64 {
+	var fs syscall.Statfs_t
+	if err := syscall.Statfs(path, &fs); err != nil {
+		return -1
+	}
+	return int64(fs.Bavail) * int64(fs.Bsize)
+}

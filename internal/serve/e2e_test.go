@@ -148,3 +148,77 @@ func TestServeRealSessionParkResume(t *testing.T) {
 		t.Errorf("interrupted-and-resumed result differs from uninterrupted run:\n got: %s\nwant: %s", body, want)
 	}
 }
+
+// TestServeRealSessionSweepKillResume is the end-to-end tentpole assertion:
+// a real-session sweep interrupted by a mid-flight shutdown (the graceful
+// stand-in for kill -9, which the CI sweep-smoke job does literally) resumes
+// in a second process life with only its unfinished points, and the finished
+// grid's per-point bytes are identical to direct uninterrupted runs of the
+// same configurations.
+func TestServeRealSessionSweepKillResume(t *testing.T) {
+	opt := cppe.Options{Scale: 0.05, Parallelism: 2}
+	want := make(map[string][]byte)
+	ref := cppe.NewSession(opt)
+	var refCycles uint64
+	for _, pct := range []int{75, 50} {
+		res, err := ref.Run(cppe.Request{Benchmark: "SRD", Setup: "cppe", Oversubscription: pct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := cppe.ResultJSON(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := ref.JobID(cppe.Request{Benchmark: "SRD", Setup: "cppe", Oversubscription: pct})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[id] = data
+		refCycles = res.Cycles
+	}
+
+	dir := t.TempDir()
+	cfg := Config{
+		StateDir:        dir,
+		Workers:         1,
+		SweepWorkers:    1, // serialize the points: the shutdown lands mid-grid
+		CheckpointEvery: refCycles / 50,
+		Runner:          SessionRunner(cppe.NewSession(opt)),
+		Logf:            discardLogf,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	body := `{"benchmarks":["SRD"],"setups":["cppe"],"oversubscriptions":[75,50]}`
+	code, sr := postSweep(t, srv.Handler(), body)
+	if code != http.StatusAccepted || sr.Points != 2 {
+		t.Fatalf("POST sweep: %d %+v", code, sr)
+	}
+	// Interrupt while the first point is (very likely) mid-run; whatever
+	// landed, the manifest + journal must carry the rest to the next life.
+	if err := srv.Shutdown(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2.Start()
+	defer srv2.Shutdown(0)
+	st := waitSweepDone(t, srv2.Handler(), sr.ID)
+	if st.Counts.Cached != 2 || st.Counts.Failed != 0 {
+		t.Fatalf("resumed sweep counts = %+v, want 2 cached", st.Counts)
+	}
+	for id, wantBytes := range want {
+		code, body := get(t, srv2.Handler(), "/v1/jobs/"+id+"/result")
+		if code != http.StatusOK {
+			t.Fatalf("GET point %s: %d", id, code)
+		}
+		if string(body) != string(wantBytes) {
+			t.Errorf("point %s: interrupted-sweep bytes differ from direct run", id)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package fsfault is the filesystem seam of the serve store, plus a seeded
+// deterministic fault injector over it — the serve-layer sibling of
+// internal/inject. The store performs every durable operation through the FS
+// interface; production uses the OS passthrough, and chaos tests wrap it in
+// an Injector that fails writes, renames, and removes with ENOSPC, EDQUOT, or
+// torn short writes on a schedule fully determined by a seed, so every
+// crash/GC/degradation path in the service can be proven to leave a
+// replayable journal and byte-identical served results.
+//
+// Faults target the mutating path only (WriteFile, Rename, Remove): those are
+// the operations whose failure a crash-safe store must turn into degraded
+// mode instead of corrupted state. Reads pass through untouched — a store
+// that cannot read its own state directory is an operator problem, not a
+// robustness path this repo models.
+package fsfault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// FS is the small filesystem surface the serve store needs. Implementations
+// must be safe for concurrent use (package os is; Injector locks internally).
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	WriteFile(name string, data []byte, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadFile(name string) ([]byte, error)
+	Stat(name string) (fs.FileInfo, error)
+	Glob(pattern string) ([]string, error)
+}
+
+// OS is the production FS: a direct passthrough to package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error             { return os.Remove(name) }
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error) {
+	return os.Stat(name)
+}
+func (osFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+// ErrShortWrite is the error a torn write reports (io.ErrShortWrite, re-
+// exported so callers classifying disk pressure need only this package and
+// the syscall errnos).
+var ErrShortWrite = io.ErrShortWrite
+
+// Injector wraps an FS with seeded deterministic fault injection. Each
+// mutating operation class (write, rename, remove) draws from one shared
+// splitmix64 stream: with FailEvery(n) armed for its class, an operation
+// fails with probability 1/n, decided by the stream — so the exact schedule
+// of injected faults is a pure function of the seed and the operation
+// sequence, and a test that replays the same operations sees the same faults.
+//
+// A failing write by default reports Err (syscall.ENOSPC unless changed) and
+// leaves nothing behind; with short writes enabled it instead persists a
+// truncated prefix of the data and reports io.ErrShortWrite — the torn-file
+// case the store's tmp+rename discipline and startup sweep must absorb.
+//
+// The injector is inert until Arm is called, so a test can build a store and
+// seed its directory cleanly before switching the faults on.
+type Injector struct {
+	inner FS
+
+	mu          sync.Mutex
+	rng         uint64
+	armed       bool
+	writeEvery  int
+	renameEvery int
+	removeEvery int
+	err         error
+	shortWrites bool
+
+	ops      atomic.Uint64 // mutating operations observed while armed
+	injected atomic.Uint64 // faults injected
+}
+
+// NewInjector wraps inner with a fault injector seeded by seed. The injector
+// starts disarmed with no fault classes enabled and syscall.ENOSPC as the
+// injected error.
+func NewInjector(inner FS, seed uint64) *Injector {
+	return &Injector{inner: inner, rng: seed, err: syscall.ENOSPC}
+}
+
+// Arm enables fault injection; Disarm pauses it without resetting the seeded
+// stream or the schedule knobs.
+func (in *Injector) Arm() { in.setArmed(true) }
+
+// Disarm pauses fault injection.
+func (in *Injector) Disarm() { in.setArmed(false) }
+
+func (in *Injector) setArmed(v bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.armed = v
+}
+
+// FailWrites arms write faults: each WriteFile fails with probability 1/every
+// (every <= 0 disables, every == 1 fails all).
+func (in *Injector) FailWrites(every int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writeEvery = every
+}
+
+// FailRenames arms rename faults with probability 1/every.
+func (in *Injector) FailRenames(every int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.renameEvery = every
+}
+
+// FailRemoves arms remove faults with probability 1/every.
+func (in *Injector) FailRemoves(every int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.removeEvery = every
+}
+
+// SetError replaces the injected error (default syscall.ENOSPC; EDQUOT and
+// EIO are the other realistic choices). Ignored for short writes, which
+// always report io.ErrShortWrite.
+func (in *Injector) SetError(err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.err = err
+}
+
+// ShortWrites switches failing writes from clean ENOSPC-style refusal to torn
+// behavior: the injector persists a truncated prefix of the data through the
+// inner FS and reports io.ErrShortWrite.
+func (in *Injector) ShortWrites(on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.shortWrites = on
+}
+
+// Ops returns the number of mutating operations observed while armed.
+func (in *Injector) Ops() uint64 { return in.ops.Load() }
+
+// Injected returns the number of faults injected so far.
+func (in *Injector) Injected() uint64 { return in.injected.Load() }
+
+// hit consumes one draw from the seeded stream and decides whether this
+// operation of a class armed at `every` fails. It must consume a draw even
+// when the class is disabled, so the schedule of one class does not shift
+// when another is toggled.
+func (in *Injector) hit(every int) (bool, error, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.armed {
+		return false, nil, false
+	}
+	in.ops.Add(1)
+	// splitmix64 step: the standard 64-bit mixer, same construction the sim
+	// core uses for seeded determinism.
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if every <= 0 {
+		return false, nil, false
+	}
+	if every > 1 && z%uint64(every) != 0 {
+		return false, nil, false
+	}
+	in.injected.Add(1)
+	return true, in.err, in.shortWrites
+}
+
+func (in *Injector) writeEveryNow() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.writeEvery
+}
+
+func (in *Injector) MkdirAll(path string, perm fs.FileMode) error {
+	return in.inner.MkdirAll(path, perm)
+}
+
+func (in *Injector) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	if fail, err, short := in.hit(in.writeEveryNow()); fail {
+		if short {
+			// Torn write: persist a prefix, report the truncation. The half-
+			// written file is exactly what a crash mid-write leaves behind.
+			_ = in.inner.WriteFile(name, data[:len(data)/2], perm)
+			return ErrShortWrite
+		}
+		return err
+	}
+	return in.inner.WriteFile(name, data, perm)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	in.mu.Lock()
+	every := in.renameEvery
+	in.mu.Unlock()
+	if fail, err, _ := in.hit(every); fail {
+		return err
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+func (in *Injector) Remove(name string) error {
+	in.mu.Lock()
+	every := in.removeEvery
+	in.mu.Unlock()
+	if fail, err, _ := in.hit(every); fail {
+		return err
+	}
+	return in.inner.Remove(name)
+}
+
+func (in *Injector) ReadFile(name string) ([]byte, error)  { return in.inner.ReadFile(name) }
+func (in *Injector) Stat(name string) (fs.FileInfo, error) { return in.inner.Stat(name) }
+func (in *Injector) Glob(pattern string) ([]string, error) { return in.inner.Glob(pattern) }

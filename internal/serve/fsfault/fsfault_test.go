@@ -1,0 +1,183 @@
+package fsfault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestOSPassthrough sanity-checks the production FS against a real tempdir.
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := OS.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(sub, "x.json")
+	if err := OS.WriteFile(p, []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(p)
+	if err != nil || string(got) != "hi" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if fi, err := OS.Stat(p); err != nil || fi.Size() != 2 {
+		t.Fatalf("Stat = %v, %v", fi, err)
+	}
+	q := filepath.Join(sub, "y.json")
+	if err := OS.Rename(p, q); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := OS.Glob(filepath.Join(sub, "*.json")); err != nil || len(m) != 1 || m[0] != q {
+		t.Fatalf("Glob = %v, %v", m, err)
+	}
+	if err := OS.Remove(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectorDisarmedIsTransparent: an injector that was never armed is a
+// pure passthrough, no matter how its schedule is configured.
+func TestInjectorDisarmedIsTransparent(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, 42)
+	in.FailWrites(1)
+	in.FailRenames(1)
+	in.FailRemoves(1)
+	p := filepath.Join(dir, "f")
+	if err := in.WriteFile(p, []byte("data"), 0o644); err != nil {
+		t.Fatalf("disarmed write failed: %v", err)
+	}
+	if err := in.Rename(p, p+"2"); err != nil {
+		t.Fatalf("disarmed rename failed: %v", err)
+	}
+	if err := in.Remove(p + "2"); err != nil {
+		t.Fatalf("disarmed remove failed: %v", err)
+	}
+	if in.Injected() != 0 || in.Ops() != 0 {
+		t.Errorf("disarmed injector counted ops=%d injected=%d", in.Ops(), in.Injected())
+	}
+}
+
+// TestInjectorENOSPC: FailWrites(1) fails every write with ENOSPC and leaves
+// no file behind.
+func TestInjectorENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, 1)
+	in.FailWrites(1)
+	in.Arm()
+	p := filepath.Join(dir, "f")
+	err := in.WriteFile(p, []byte("data"), 0o644)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if _, serr := os.Stat(p); !errors.Is(serr, os.ErrNotExist) {
+		t.Errorf("clean ENOSPC left a file behind")
+	}
+	if in.Injected() != 1 {
+		t.Errorf("injected = %d, want 1", in.Injected())
+	}
+}
+
+// TestInjectorShortWrite: torn writes persist a truncated prefix and report
+// io.ErrShortWrite — the crash-mid-write shape the store sweep must absorb.
+func TestInjectorShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, 1)
+	in.FailWrites(1)
+	in.ShortWrites(true)
+	in.Arm()
+	p := filepath.Join(dir, "f")
+	data := []byte("0123456789")
+	if err := in.WriteFile(p, data, 0o644); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("err = %v, want ErrShortWrite", err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("torn file missing: %v", err)
+	}
+	if len(got) >= len(data) || string(got) != string(data[:len(data)/2]) {
+		t.Errorf("torn file = %q, want prefix %q", got, data[:len(data)/2])
+	}
+}
+
+// TestInjectorRenameAndRemove: rename and remove faults fire with the
+// configured error and leave the source intact.
+func TestInjectorRenameAndRemove(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, 7)
+	in.FailRenames(1)
+	in.FailRemoves(1)
+	in.SetError(syscall.EDQUOT)
+	in.Arm()
+	p := filepath.Join(dir, "f")
+	if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rename(p, p+"2"); !errors.Is(err, syscall.EDQUOT) {
+		t.Fatalf("rename err = %v, want EDQUOT", err)
+	}
+	if err := in.Remove(p); !errors.Is(err, syscall.EDQUOT) {
+		t.Fatalf("remove err = %v, want EDQUOT", err)
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Errorf("failed rename/remove disturbed the source: %v", err)
+	}
+}
+
+// TestInjectorSeededDeterminism: the fault schedule is a pure function of the
+// seed and the operation sequence — two injectors with the same seed inject
+// on exactly the same operations.
+func TestInjectorSeededDeterminism(t *testing.T) {
+	schedule := func(seed uint64) []bool {
+		dir := t.TempDir()
+		in := NewInjector(OS, seed)
+		in.FailWrites(3)
+		in.Arm()
+		var hits []bool
+		for i := 0; i < 64; i++ {
+			err := in.WriteFile(filepath.Join(dir, "f"), []byte("x"), 0o644)
+			hits = append(hits, err != nil)
+		}
+		return hits
+	}
+	a, b := schedule(99), schedule(99)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, a, b)
+		}
+	}
+	injected := 0
+	for _, h := range a {
+		if h {
+			injected++
+		}
+	}
+	if injected == 0 || injected == len(a) {
+		t.Errorf("FailWrites(3) over %d ops injected %d faults; schedule looks degenerate", len(a), injected)
+	}
+}
+
+// TestInjectorDisarmPreservesStream: disarming pauses faults without
+// consuming draws, so tests can stage clean setup phases mid-schedule.
+func TestInjectorDisarmPreservesStream(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS, 5)
+	in.FailWrites(1)
+	in.Arm()
+	p := filepath.Join(dir, "f")
+	if err := in.WriteFile(p, []byte("x"), 0o644); err == nil {
+		t.Fatal("armed write did not fail")
+	}
+	in.Disarm()
+	if err := in.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatalf("disarmed write failed: %v", err)
+	}
+	in.Arm()
+	if err := in.WriteFile(p, []byte("x"), 0o644); err == nil {
+		t.Fatal("re-armed write did not fail")
+	}
+}

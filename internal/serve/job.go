@@ -174,6 +174,25 @@ func (j *Job) rearm() {
 	j.done = make(chan struct{})
 }
 
+// restore rolls the job back to a previously snapshotted record — the undo
+// for a speculative rearm that then lost the queue-capacity race. The done
+// channel is re-closed when the restored state is terminal, so waiters from
+// before the rearm and after it both see the job finished.
+func (j *Job) restore(rec Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = rec.State
+	j.attempts = rec.Attempts
+	j.errMsg = rec.Error
+	if rec.State.Terminal() {
+		select {
+		case <-j.done:
+		default:
+			close(j.done)
+		}
+	}
+}
+
 // Record snapshots the job's journal record.
 func (j *Job) Record() Record {
 	j.mu.Lock()

@@ -47,18 +47,24 @@ func (r *stubRunner) JobID(req Request) (string, error) {
 	return fmt.Sprintf("%s-%s-%d", req.Benchmark, req.Setup, req.Oversubscription), nil
 }
 
-func (r *stubRunner) Run(req Request, ckpt string, every uint64, stop func() bool) (cppe.Result, error) {
+func (r *stubRunner) Run(req Request, ckpt string, every uint64, stop func() bool, progress func(uint64)) (cppe.Result, error) {
 	id, _ := r.JobID(req)
 	r.runs.Add(1)
 	r.started <- id
 	if r.block {
+		cycle := uint64(0)
 		for blocked := true; blocked; {
 			select {
 			case <-r.release:
 				blocked = false
 			default:
-				// Emulate the real runner: stop is consulted at checkpoint
-				// boundaries, and true parks the run.
+				// Emulate the real runner at a checkpoint boundary: the
+				// progress hook fires, then stop is consulted, and true
+				// parks the run.
+				cycle += every
+				if progress != nil {
+					progress(cycle)
+				}
 				if stop != nil && stop() {
 					return cppe.Result{}, cppe.ErrParked
 				}
@@ -488,5 +494,73 @@ func TestStatusAndStatsz(t *testing.T) {
 	}
 	if stz.Workers != 1 || stz.Queue.Capacity != 8 {
 		t.Errorf("statsz shape = %+v", stz)
+	}
+}
+
+// TestJournalCompactionOnReplay pins the startup-compaction contract: cached
+// records whose result bytes are durable are dropped from the journal (the
+// result file alone carries them), failed and unfinished records are kept,
+// and compacted jobs remain fully addressable through the API.
+func TestJournalCompactionOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Benchmark: "SRD", Setup: "cppe", Oversubscription: 50}
+	for _, id := range []string{"done-1", "done-2"} {
+		if err := st.PutResult(id, []byte("{}\n")); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.PutJob(Record{ID: id, Request: req, State: StateCached}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.PutJob(Record{ID: "broken", Request: req, State: StateFailed, Error: "boom"})
+	st.PutJob(Record{ID: "unfinished", Request: req, State: StateQueued})
+
+	stub := newStubRunner()
+	stub.block = true
+	srv, err := New(testConfig(dir, stub))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(stub.release)
+	if c := srv.Counters().Snapshot(); c.Compacted != 2 {
+		t.Errorf("compacted = %d, want 2", c.Compacted)
+	}
+	recs, err := srv.Store().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := make(map[string]State, len(recs))
+	for _, rec := range recs {
+		left[rec.ID] = rec.State
+	}
+	if len(left) != 2 || left["broken"] != StateFailed || left["unfinished"] != StateQueued {
+		t.Errorf("journal after compaction = %v, want only broken(failed) + unfinished(queued)", left)
+	}
+
+	// Compacted jobs still answer: in-memory this life, from the result file
+	// in the next one.
+	for _, id := range []string{"done-1", "done-2"} {
+		if code, _ := get(t, srv.Handler(), "/v1/jobs/"+id+"/result"); code != http.StatusOK {
+			t.Errorf("compacted job %s result: %d, want 200", id, code)
+		}
+	}
+	srv2, err := New(testConfig(t.TempDir(), newStubRunner())) // unrelated dir: no registry entry at all
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srv2
+	srv3, err := New(testConfig(dir, newStubRunner()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := get(t, srv3.Handler(), "/v1/jobs/done-1/result"); code != http.StatusOK {
+		t.Error("result of a compacted job unreachable after a second restart")
+	}
+	if code, _ := get(t, srv3.Handler(), "/v1/jobs/done-1"); code != http.StatusOK {
+		t.Error("status of a compacted job unreachable after a second restart")
 	}
 }

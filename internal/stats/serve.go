@@ -35,10 +35,31 @@ type ServeCounters struct {
 	Resumed atomic.Uint64
 	// Retries counts attempts re-scheduled after a retryable run failure.
 	Retries atomic.Uint64
-	// Parked counts runs checkpointed and requeued by a graceful shutdown.
+	// Parked counts runs checkpointed and requeued by a graceful shutdown,
+	// disk-pressure degradation, or a replay race.
 	Parked atomic.Uint64
 	// Failed counts jobs that reached the terminal failed state.
 	Failed atomic.Uint64
+	// Compacted counts journal records dropped by startup compaction
+	// (terminal cached records whose result bytes are durable, so the result
+	// file alone carries them forward).
+	Compacted atomic.Uint64
+	// SweepsAccepted counts sweep grids admitted via POST /v1/sweeps, and
+	// SweepPoints the grid points fanned out across all of them (points
+	// joined to an already-cached or in-flight job included).
+	SweepsAccepted atomic.Uint64
+	SweepPoints    atomic.Uint64
+	// GCEvicted and GCReclaimedBytes count results removed by the result-
+	// store GC and the bytes they freed.
+	GCEvicted        atomic.Uint64
+	GCReclaimedBytes atomic.Uint64
+	// GCPinsHonored counts results the GC policy selected for eviction but
+	// spared because they were pinned by an in-flight read, owned by a
+	// non-terminal job, or part of an active sweep.
+	GCPinsHonored atomic.Uint64
+	// DegradedEvents counts transitions into disk-pressure degraded mode
+	// (sticky until restart, so normally 0 or 1 per process life).
+	DegradedEvents atomic.Uint64
 }
 
 // ServeSnapshot is a point-in-time reading of ServeCounters, shaped for the
@@ -55,6 +76,16 @@ type ServeSnapshot struct {
 	Retries       uint64 `json:"retries"`
 	Parked        uint64 `json:"parked"`
 	Failed        uint64 `json:"failed"`
+	Compacted     uint64 `json:"compacted"`
+
+	SweepsAccepted uint64 `json:"sweeps_accepted"`
+	SweepPoints    uint64 `json:"sweep_points"`
+
+	GCEvicted        uint64 `json:"gc_evicted"`
+	GCReclaimedBytes uint64 `json:"gc_reclaimed_bytes"`
+	GCPinsHonored    uint64 `json:"gc_pins_honored"`
+
+	DegradedEvents uint64 `json:"degraded_events"`
 }
 
 // Snapshot returns the current counter values. Each counter is read
@@ -73,5 +104,15 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		Retries:       c.Retries.Load(),
 		Parked:        c.Parked.Load(),
 		Failed:        c.Failed.Load(),
+		Compacted:     c.Compacted.Load(),
+
+		SweepsAccepted: c.SweepsAccepted.Load(),
+		SweepPoints:    c.SweepPoints.Load(),
+
+		GCEvicted:        c.GCEvicted.Load(),
+		GCReclaimedBytes: c.GCReclaimedBytes.Load(),
+		GCPinsHonored:    c.GCPinsHonored.Load(),
+
+		DegradedEvents: c.DegradedEvents.Load(),
 	}
 }

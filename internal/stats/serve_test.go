@@ -16,19 +16,36 @@ func TestServeCountersSnapshot(t *testing.T) {
 	c.SimsStarted.Add(2)
 	c.SimsCompleted.Add(2)
 	c.Parked.Add(1)
+	c.Compacted.Add(4)
+	c.SweepsAccepted.Add(1)
+	c.SweepPoints.Add(8)
+	c.GCEvicted.Add(2)
+	c.GCReclaimedBytes.Add(512)
+	c.GCPinsHonored.Add(1)
+	c.DegradedEvents.Add(1)
 	got := c.Snapshot()
-	want := ServeSnapshot{Accepted: 3, Deduped: 1, SimsStarted: 2, SimsCompleted: 2, Parked: 1}
+	want := ServeSnapshot{
+		Accepted: 3, Deduped: 1, SimsStarted: 2, SimsCompleted: 2, Parked: 1,
+		Compacted: 4, SweepsAccepted: 1, SweepPoints: 8,
+		GCEvicted: 2, GCReclaimedBytes: 512, GCPinsHonored: 1, DegradedEvents: 1,
+	}
 	if got != want {
 		t.Errorf("Snapshot() = %+v, want %+v", got, want)
 	}
 
-	// The JSON field names are the /statsz wire contract (the CI smoke job
-	// greps for sims_started); pin the ones scripts depend on.
+	// The JSON field names are the /statsz wire contract (the CI smoke jobs
+	// grep for sims_started and sweeps_accepted); pin the ones scripts
+	// depend on.
 	enc, err := json.Marshal(got)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{`"sims_started":2`, `"cache_hits":0`, `"accepted":3`, `"parked":1`} {
+	for _, field := range []string{
+		`"sims_started":2`, `"cache_hits":0`, `"accepted":3`, `"parked":1`,
+		`"compacted":4`, `"sweeps_accepted":1`, `"sweep_points":8`,
+		`"gc_evicted":2`, `"gc_reclaimed_bytes":512`, `"gc_pins_honored":1`,
+		`"degraded_events":1`,
+	} {
 		if !strings.Contains(string(enc), field) {
 			t.Errorf("snapshot JSON %s missing %s", enc, field)
 		}

@@ -48,11 +48,24 @@ func (s *Session) JobID(req Request) (string, error) {
 // call to continue. Completed runs remove their checkpoint; runs that died
 // with a run error keep it so a retry resumes instead of starting over.
 func (s *Session) RunResumable(req Request, path string, everyCycles uint64, stop func() bool) (Result, error) {
+	return s.RunResumableProgress(req, path, everyCycles, stop, nil)
+}
+
+// RunResumableProgress is RunResumable with a streaming hook: after every
+// durable checkpoint write the progress callback (nil = none) receives the
+// simulated cycle of the checkpoint just written. The hook is called at
+// deterministic simulation points, so observing progress cannot perturb the
+// result; cppe-serve drives its sweep SSE events off it.
+func (s *Session) RunResumableProgress(req Request, path string, everyCycles uint64, stop func() bool, progress func(cycle uint64)) (Result, error) {
 	if err := s.validate(req); err != nil {
 		return Result{}, err
 	}
 	k := harness.Key{Bench: req.Benchmark, Setup: req.Setup, OversubPct: req.Oversubscription}
-	r, err := s.h.RunResumable(k, path, memdef.Cycle(everyCycles), stop)
+	var hook func(harness.Progress)
+	if progress != nil {
+		hook = func(p harness.Progress) { progress(uint64(p.Cycle)) }
+	}
+	r, err := s.h.RunResumableProgress(k, path, memdef.Cycle(everyCycles), stop, hook)
 	if err != nil {
 		return Result{}, err
 	}
